@@ -1,0 +1,109 @@
+// Ablation — self-adjusting controller sensitivity (extension beyond the
+// paper's figures, motivated by Sec. 3.3's parameters): how the scale-down
+// threshold T_down, the warning waterline l_w, the queue capacity Q, and
+// the lambda-smoothing alpha affect reaction to a rate spike.
+//
+// Workload: ride-hailing with a 2k -> 60k tuples/s step; we report how
+// many switches fire, how many arrivals are lost around the switch, and
+// the post-step throughput.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+namespace {
+
+struct Outcome {
+  uint64_t scale_downs;
+  uint64_t switches;
+  uint64_t drops;
+  double tail_tput;
+  int final_dstar;
+};
+
+Outcome run_once(std::function<void(core::EngineConfig&)> tweak) {
+  core::EngineConfig cfg = paper_config(core::SystemVariant::Whale());
+  cfg.cluster.num_nodes = 10;
+  cfg.executor_queue_capacity = 1 << 14;
+  cfg.controller.sample_interval = ms(10);
+  cfg.mcast_schedule_per_child = us(8);  // make d* bind at 40k tps
+  cfg.switch_connection_setup = ms(20);
+  cfg.controller.warning_waterline_frac = 0.2;
+  cfg.timeseries_bin = ms(50);
+  tweak(cfg);
+
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(250), 40000);
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = 40;
+  p.aggregation_parallelism = 2;
+  p.driver_spout_parallelism = 1;
+  p.workload.match_fixed_cost = us(4);
+  p.workload.match_per_driver_cost = ns(10);
+  p.request_rate = std::move(rate);
+  p.driver_rate = dsps::RateProfile::constant(500);
+
+  core::Engine e(cfg, apps::build_ride_hailing(p).topology);
+  const auto& r = e.run(ms(100), ms(700));
+  Outcome o;
+  o.scale_downs = r.scale_downs;
+  o.switches = r.switches_completed;
+  o.drops = r.input_drops;
+  o.final_dstar = r.final_dstar;
+  double tail = 0;
+  int n = 0;
+  for (size_t i = r.tput_series.num_bins() >= 6 ? r.tput_series.num_bins() - 6
+                                                : 0;
+       i < r.tput_series.num_bins(); ++i) {
+    tail += r.tput_series.bin_rate(i);
+    ++n;
+  }
+  o.tail_tput = n ? tail / n : 0;
+  return o;
+}
+
+void print(const std::string& label, const Outcome& o) {
+  row({label, std::to_string(o.scale_downs), std::to_string(o.switches),
+       std::to_string(o.drops), fmt_tps(o.tail_tput),
+       std::to_string(o.final_dstar)});
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation — self-adjusting controller parameters",
+         "reaction to a 2k->40k tps step; lower waterlines / thresholds "
+         "react earlier (fewer drops), excessive sensitivity causes extra "
+         "switches");
+
+  row({"config", "scale_downs", "switches", "drops", "tail_tput",
+       "final_dstar"});
+
+  for (double t_down : {0.1, 2.0}) {
+    print("T_down=" + fmt(t_down, 1), run_once([&](core::EngineConfig& c) {
+            c.controller.t_down = t_down;
+          }));
+  }
+  for (double lw : {0.05, 0.6}) {
+    print("l_w=" + fmt(lw, 2) + "Q", run_once([&](core::EngineConfig& c) {
+            c.controller.warning_waterline_frac = lw;
+          }));
+  }
+  for (size_t q : {size_t(1) << 10, size_t(1) << 16}) {
+    print("Q=" + std::to_string(q), run_once([&](core::EngineConfig& c) {
+            c.executor_queue_capacity = q;
+          }));
+  }
+  for (double alpha : {0.0, 0.95}) {
+    print("alpha=" + fmt(alpha, 2), run_once([&](core::EngineConfig& c) {
+            c.lambda_alpha = alpha;
+          }));
+  }
+  for (int64_t setup : {5, 120}) {
+    print("T_setup=" + std::to_string(setup) + "ms",
+          run_once([&](core::EngineConfig& c) {
+            c.switch_connection_setup = ms(setup);
+          }));
+  }
+  return 0;
+}

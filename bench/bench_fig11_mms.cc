@@ -1,0 +1,37 @@
+// Figure 11 — Max Memory Size (MMS) sweep for stream slicing: larger MMS
+// amortizes work requests so throughput grows, but past ~256 KB the wait
+// for the buffer to fill inflates latency. The paper picks 256 KB.
+//
+// This is a channel-level experiment: a payload-heavy broadcast (2 KB
+// tuples) so the per-work-request overheads and the buffer-fill waits are
+// both visible.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Fig. 11 — system performance vs MMS (Whale, 2KB broadcast)",
+         "throughput grows with MMS; latency rises slightly until ~256KB "
+         "then significantly; paper picks MMS = 256KB");
+
+  const int par = std::max(4, static_cast<int>(480 * scale()));
+  row({"mms_bytes", "tput_tps", "latency_ms", "mcast_latency_ms"});
+  for (uint64_t mms : {512ull, 4096ull, 32768ull, 262144ull, 1048576ull}) {
+    core::EngineConfig cfg = paper_config(core::SystemVariant::Whale());
+    cfg.mms_bytes = mms;
+    // A long WTL exposes the MMS effect (otherwise the timer flushes
+    // first, exactly as the paper's MMS/WTL interplay describes).
+    cfg.wtl = ms(30);
+    cfg.qp.ring_capacity = 16 * 1024 * 1024;
+    cfg.qp.read_batch_max = std::max<uint64_t>(mms, 4096);
+    const auto r = run_at_sustainable_rate([&](double rate) {
+      core::Engine e(cfg, broadcast_topology(rate, 2048, par));
+      return e.run(warmup_ms(), window_ms());
+    });
+    row({std::to_string(mms), fmt_tps(r.mcast_throughput_tps),
+         fmt_ms(r.processing_latency_ms_avg()),
+         fmt_ms(r.mcast_latency_ms_avg())});
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figures 13/14 — the headline evaluation: system throughput and
+// processing latency vs parallelism for the on-demand ride-hailing
+// application, full ablation.
+//
+// Paper targets at parallelism 480: Whale = 56.6x Storm and 15x
+// RDMA-Storm throughput; 96.6% / 95.9% latency reductions; WOC /
+// optimized-RDMA / non-blocking-tree contribute 54% / 17% / 29% of the
+// improvement over RDMA-based Storm. Whale's throughput RISES with
+// parallelism while Storm's and RDMA-Storm's fall.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Figs. 13/14 — ride-hailing throughput & latency vs parallelism",
+         "Whale ~56.6x Storm, ~15x RDMA-Storm at 480; WOC/RDMA/tree "
+         "contribute ~54/17/29% of the gain; Whale latency falls with "
+         "parallelism");
+
+  const core::SystemVariant variants[] = {
+      core::SystemVariant::Storm(), core::SystemVariant::RdmaStorm(),
+      core::SystemVariant::WhaleWoc(), core::SystemVariant::WhaleWocRdma(),
+      core::SystemVariant::Whale()};
+
+  row({"parallelism", "system", "tput_tps", "latency_ms",
+       "mcast_latency_ms"});
+  std::vector<double> at_max_parallelism;
+  for (int par : parallelism_sweep()) {
+    for (const auto v : variants) {
+      const auto r = run_at_sustainable_rate(
+          [&](double rate) { return run_ride(v, par, rate); });
+      row({std::to_string(par), v.name(), fmt_tps(r.mcast_throughput_tps),
+           fmt_ms(r.processing_latency_ms_avg()),
+           fmt_ms(r.mcast_latency_ms_avg())});
+      if (par == parallelism_sweep().back()) {
+        at_max_parallelism.push_back(r.mcast_throughput_tps);
+      }
+    }
+  }
+
+  if (at_max_parallelism.size() == 5) {
+    const double storm = at_max_parallelism[0];
+    const double rdma = at_max_parallelism[1];
+    const double woc = at_max_parallelism[2];
+    const double wocr = at_max_parallelism[3];
+    const double whale = at_max_parallelism[4];
+    std::printf("\nheadline ratios at max parallelism:\n");
+    std::printf("  Whale / Storm        = %.1fx (paper: 56.6x)\n",
+                whale / storm);
+    std::printf("  Whale / RDMA-Storm   = %.1fx (paper: 15x)\n",
+                whale / rdma);
+    const double total = whale - rdma;
+    std::printf("  contribution WOC     = %.0f%% (paper: 54%%)\n",
+                100.0 * (woc - rdma) / total);
+    std::printf("  contribution RDMAopt = %.0f%% (paper: 17%%)\n",
+                100.0 * (wocr - woc) / total);
+    std::printf("  contribution tree    = %.0f%% (paper: 29%%)\n",
+                100.0 * (whale - wocr) / total);
+  }
+  return 0;
+}

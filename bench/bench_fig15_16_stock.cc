@@ -1,0 +1,51 @@
+// Figures 15/16 — stock-exchange application: throughput and processing
+// latency vs parallelism, full ablation.
+//
+// Paper targets at parallelism 480: Whale = 51.2x Storm and 16x
+// RDMA-Storm; WOC / optimized-RDMA / tree contribute 53% / 16% / 31%;
+// latency reductions 96.5% / 95.5%.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Figs. 15/16 — stock exchange throughput & latency vs parallelism",
+         "Whale ~51.2x Storm, ~16x RDMA-Storm at 480; WOC/RDMA/tree "
+         "contribute ~53/16/31%");
+
+  const core::SystemVariant variants[] = {
+      core::SystemVariant::Storm(), core::SystemVariant::RdmaStorm(),
+      core::SystemVariant::WhaleWoc(), core::SystemVariant::WhaleWocRdma(),
+      core::SystemVariant::Whale()};
+
+  row({"parallelism", "system", "tput_tps", "latency_ms",
+       "mcast_latency_ms"});
+  std::vector<double> last;
+  for (int par : parallelism_sweep()) {
+    for (const auto v : variants) {
+      const auto r = run_at_sustainable_rate(
+          [&](double rate) { return run_stock(v, par, rate); });
+      row({std::to_string(par), v.name(), fmt_tps(r.mcast_throughput_tps),
+           fmt_ms(r.processing_latency_ms_avg()),
+           fmt_ms(r.mcast_latency_ms_avg())});
+      if (par == parallelism_sweep().back()) {
+        last.push_back(r.mcast_throughput_tps);
+      }
+    }
+  }
+  if (last.size() == 5) {
+    std::printf("\nheadline ratios at max parallelism:\n");
+    std::printf("  Whale / Storm      = %.1fx (paper: 51.2x)\n",
+                last[4] / last[0]);
+    std::printf("  Whale / RDMA-Storm = %.1fx (paper: 16x)\n",
+                last[4] / last[1]);
+    const double total = last[4] - last[1];
+    std::printf("  contribution WOC/RDMAopt/tree = %.0f/%.0f/%.0f%% "
+                "(paper: 53/16/31%%)\n",
+                100.0 * (last[2] - last[1]) / total,
+                100.0 * (last[3] - last[2]) / total,
+                100.0 * (last[4] - last[3]) / total);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figures 19/20 — multicast structure comparison on the Whale-WOC-RDMA
+// base (stock exchange).
+//
+// Paper at parallelism 480: non-blocking = 1.22x binomial and 1.4x
+// sequential throughput; latency reduced by 23.4% / 32.6%.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Figs. 19/20 — multicast structures, stock exchange",
+         "non-blocking ~1.22x binomial, ~1.4x sequential throughput at "
+         "480; latency -23.4% / -32.6%");
+
+  const core::SystemVariant variants[] = {
+      core::SystemVariant::WhaleWocRdma(),
+      core::SystemVariant::WhaleWocRdmaBinomial(),
+      core::SystemVariant::Whale()};
+
+  row({"parallelism", "structure", "tput_tps", "latency_ms"});
+  for (int par : parallelism_sweep()) {
+    for (const auto v : variants) {
+      const auto r = run_at_sustainable_rate(
+          [&](double rate) { return run_stock(v, par, rate); });
+      const char* name = v.mcast == core::McastMode::kSequential
+                             ? "sequential"
+                             : (v.mcast == core::McastMode::kBinomial
+                                    ? "binomial"
+                                    : "non-blocking");
+      row({std::to_string(par), name, fmt_tps(r.mcast_throughput_tps),
+           fmt_ms(r.processing_latency_ms_avg())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figures 25/26 — source-side communication time and the serialization
+// share of it, vs parallelism (ride-hailing).
+//
+// Paper at parallelism 480: Whale cuts communication time by 96% vs Storm
+// and 92% vs RDMA-Storm; serialization is 45% of Storm's communication
+// time, 94% of RDMA-Storm's, and only ~15% of Whale's (Storm serializes
+// 49.5 ms per tuple at 480; Whale < 1 ms).
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Figs. 25/26 — communication time & serialization share",
+         "Whale cuts comm time ~96%/92% vs Storm/RDMA-Storm; ser share "
+         "~45% (Storm), ~94% (RDMA-Storm), ~15% (Whale)");
+
+  const core::SystemVariant variants[] = {core::SystemVariant::Storm(),
+                                          core::SystemVariant::RdmaStorm(),
+                                          core::SystemVariant::Whale()};
+
+  row({"parallelism", "system", "comm_time_ms", "ser_time_ms",
+       "ser_share"});
+  for (int par : parallelism_sweep()) {
+    for (const auto v : variants) {
+      const auto r = run_at_sustainable_rate(
+          [&](double rate) { return run_ride(v, par, rate); });
+      row({std::to_string(par), v.name(),
+           fmt_ms(r.comm_time.mean_ns() / 1e6),
+           fmt(r.ser_time_avg_ns / 1e6, 3), fmt(r.ser_ratio, 2)});
+    }
+  }
+  return 0;
+}

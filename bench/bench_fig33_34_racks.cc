@@ -1,0 +1,33 @@
+// Figures 33/34 — physical cluster topology: the 30 machines are
+// partitioned into 1..5 racks (inter-rack links add latency); Whale's
+// throughput and latency stay stable while the baselines remain at their
+// (already collapsed) levels.
+#include "bench/bench_util.h"
+
+using namespace whale;
+using namespace whale::bench;
+
+int main() {
+  header("Figs. 33/34 — throughput & latency vs number of racks",
+         "Whale's throughput stays stable from 1 to 5 racks; latency "
+         "changes only slightly");
+
+  const core::SystemVariant variants[] = {core::SystemVariant::Storm(),
+                                          core::SystemVariant::RdmaStorm(),
+                                          core::SystemVariant::Whale()};
+  const int par = parallelism_sweep().back();
+
+  row({"racks", "system", "tput_tps", "latency_ms"});
+  for (int racks : {1, 2, 3, 4, 5}) {
+    for (const auto v : variants) {
+      core::EngineConfig cfg = paper_config(v);
+      cfg.cluster.num_racks = racks;
+      const auto r = run_at_sustainable_rate(
+          [&](double rate) { return run_ride(v, par, rate, &cfg); });
+      row({std::to_string(racks), v.name(),
+           fmt_tps(r.mcast_throughput_tps),
+           fmt_ms(r.processing_latency_ms_avg())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark): the real-code hot paths of the
+// library — tuple serde, value hashing, tree construction & switching,
+// ring memory region operations, histogram updates, and the DES kernel's
+// event loop.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dsps/serde.h"
+#include "dsps/topology.h"
+#include "multicast/capability.h"
+#include "multicast/tree.h"
+#include "rdma/ring_buffer.h"
+#include "sim/simulation.h"
+
+namespace whale {
+namespace {
+
+dsps::Tuple request_tuple() {
+  dsps::Tuple t;
+  t.values = {dsps::Value{int64_t{1}}, dsps::Value{int64_t{123456}},
+              dsps::Value{52.1}, dsps::Value{13.9}};
+  t.stream = 1;
+  t.root_id = 42;
+  t.root_emit_time = 123456789;
+  return t;
+}
+
+void BM_SerializeBody(benchmark::State& state) {
+  const auto t = request_tuple();
+  for (auto _ : state) {
+    ByteWriter w(64);
+    dsps::TupleSerde::encode_body(t, w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SerializeBody);
+
+void BM_DeserializeBody(benchmark::State& state) {
+  const auto t = request_tuple();
+  ByteWriter w(64);
+  dsps::TupleSerde::encode_body(t, w);
+  const auto bytes = w.take();
+  for (auto _ : state) {
+    ByteReader r(bytes);
+    auto d = dsps::TupleSerde::decode_body(r);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DeserializeBody);
+
+void BM_EncodeBatchMessage(benchmark::State& state) {
+  const auto t = request_tuple();
+  std::vector<int32_t> ids(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  for (auto _ : state) {
+    auto b = dsps::TupleSerde::encode_batch_message(ids, t);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_EncodeBatchMessage)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ValueHash(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsps::value_hash(dsps::Value{i++}));
+  }
+}
+BENCHMARK(BM_ValueHash);
+
+void BM_BuildNonblockingTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto t = multicast::MulticastTree::build_nonblocking(n, 3);
+    benchmark::DoNotOptimize(t.depth());
+  }
+}
+BENCHMARK(BM_BuildNonblockingTree)->Arg(29)->Arg(480);
+
+void BM_ScaleDown(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto t = multicast::MulticastTree::build_nonblocking(
+        static_cast<int>(state.range(0)), 5);
+    state.ResumeTiming();
+    auto moves = t.plan_scale_down(3);
+    benchmark::DoNotOptimize(moves.size());
+  }
+}
+BENCHMARK(BM_ScaleDown)->Arg(29)->Arg(480);
+
+void BM_MulticastCapability(benchmark::State& state) {
+  for (auto _ : state) {
+    auto L = multicast::multicast_capability(3, 40);
+    benchmark::DoNotOptimize(L.back());
+  }
+}
+BENCHMARK(BM_MulticastCapability);
+
+void BM_RingProduceConsume(benchmark::State& state) {
+  rdma::RingMemoryRegion ring(1 << 20);
+  for (auto _ : state) {
+    auto addr = ring.produce(1024);
+    benchmark::DoNotOptimize(addr);
+    ring.consume(1024);
+  }
+}
+BENCHMARK(BM_RingProduceConsume);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.add(static_cast<Duration>(rng.next_below(1000000)));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_SimulationEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 1000) s.schedule_after(100, tick);
+    };
+    s.schedule_after(0, tick);
+    s.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulationEventLoop);
+
+}  // namespace
+}  // namespace whale
+
+BENCHMARK_MAIN();

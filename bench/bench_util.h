@@ -1,0 +1,172 @@
+// Shared support for the figure-reproduction benches.
+//
+// Every bench binary reproduces one table/figure of the paper: it sweeps
+// the figure's x-axis, runs the engine per point, and prints the series
+// the paper plots. Scale can be reduced for smoke runs with
+// WHALE_BENCH_SCALE (0 < scale <= 1, default read from env, 1 = paper
+// scale) and WHALE_BENCH_WINDOW_MS.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/ride_hailing_app.h"
+#include "apps/stock_app.h"
+#include "core/engine.h"
+
+namespace whale::bench {
+
+inline double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : def;
+}
+
+inline double scale() { return env_double("WHALE_BENCH_SCALE", 1.0); }
+
+inline Duration window_ms() {
+  return ms(static_cast<int64_t>(env_double("WHALE_BENCH_WINDOW_MS", 300)));
+}
+inline Duration warmup_ms() {
+  return ms(static_cast<int64_t>(env_double("WHALE_BENCH_WARMUP_MS", 150)));
+}
+
+// Paper-scale cluster: 30 nodes, 16 cores, 1 GbE + FDR InfiniBand.
+inline core::EngineConfig paper_config(core::SystemVariant v) {
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 30;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = v;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// Ride-hailing app at a given matching parallelism; request rate defaults
+// to roughly the maximum the strongest system sustains (the paper feeds
+// "the maximum stream rate ... the system can sustain").
+inline apps::RideHailingAppParams ride_params(int parallelism,
+                                              double request_tps,
+                                              double driver_tps = 4000) {
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = parallelism;
+  p.aggregation_parallelism = 8;
+  p.driver_spout_parallelism = 2;
+  p.request_rate = dsps::RateProfile::constant(request_tps);
+  p.driver_rate = dsps::RateProfile::constant(driver_tps);
+  return p;
+}
+
+inline apps::StockAppParams stock_params(int parallelism, double order_tps) {
+  apps::StockAppParams p;
+  p.matching_parallelism = parallelism;
+  p.aggregation_parallelism = 8;
+  p.order_rate = dsps::RateProfile::constant(order_tps);
+  return p;
+}
+
+inline core::RunReport run_ride(core::SystemVariant v, int parallelism,
+                                double request_tps,
+                                core::EngineConfig* custom = nullptr) {
+  core::EngineConfig cfg = custom ? *custom : paper_config(v);
+  cfg.variant = v;
+  core::Engine e(cfg,
+                 apps::build_ride_hailing(ride_params(parallelism,
+                                                      request_tps))
+                     .topology);
+  return e.run(warmup_ms(), window_ms());
+}
+
+inline core::RunReport run_stock(core::SystemVariant v, int parallelism,
+                                 double order_tps,
+                                 core::EngineConfig* custom = nullptr) {
+  core::EngineConfig cfg = custom ? *custom : paper_config(v);
+  cfg.variant = v;
+  core::Engine e(cfg,
+                 apps::build_stock_exchange(stock_params(parallelism,
+                                                         order_tps))
+                     .topology);
+  return e.run(warmup_ms(), window_ms());
+}
+
+// Payload-heavy broadcast microworkload for the channel-level experiments
+// (MMS sweep, Fig. 11): one spout broadcasting `tuple_bytes` tuples to a
+// light bolt, so the RDMA channels move real byte volume.
+inline dsps::Topology broadcast_topology(double rate, size_t tuple_bytes,
+                                         int parallelism) {
+  struct BlobSpout : dsps::Spout {
+    explicit BlobSpout(size_t n) : n_(n) {}
+    dsps::Tuple next(Rng&) override {
+      dsps::Tuple t;
+      t.values.emplace_back(std::string(n_, 'x'));
+      return t;
+    }
+    size_t n_;
+  };
+  struct LightBolt : dsps::Bolt {
+    Duration execute(const dsps::Tuple&, dsps::Emitter&) override {
+      return us(2);
+    }
+  };
+  dsps::TopologyBuilder b;
+  const int s = b.add_spout(
+      "blobs",
+      [tuple_bytes] { return std::make_unique<BlobSpout>(tuple_bytes); }, 1,
+      dsps::RateProfile::constant(rate));
+  const int m = b.add_bolt(
+      "consumers", [] { return std::make_unique<LightBolt>(); }, parallelism);
+  b.connect(s, m, dsps::Grouping::kAll);
+  return b.build();
+}
+
+// The paper feeds each configuration "the maximum stream rate ... the
+// system can sustain": probe the capacity with a short overloaded run,
+// then measure at a fraction of it. The headroom absorbs the probe's
+// optimism (per-instance service-time spread means the slowest instance
+// saturates below the average processing rate the probe observes).
+template <typename RunFn>
+core::RunReport run_at_sustainable_rate(RunFn run_at_rate,
+                                        double probe_rate = 200000.0,
+                                        double headroom = 0.85) {
+  const core::RunReport probe = run_at_rate(probe_rate);
+  double capacity = probe.mcast_throughput_tps;
+  if (capacity <= 0.0) capacity = 100.0;
+  return run_at_rate(capacity * headroom);
+}
+
+// --- printing --------------------------------------------------------------
+
+inline void header(const std::string& title, const std::string& paper_note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::fflush(stdout);
+}
+
+inline void row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%s", i ? "\t" : "", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_tps(double v) { return fmt(v, 0); }
+inline std::string fmt_ms(double v) { return fmt(v, 2); }
+
+// Parallelism sweep used by most figures (paper: 120..480).
+inline std::vector<int> parallelism_sweep() {
+  const double s = scale();
+  std::vector<int> out;
+  for (int p : {120, 240, 360, 480}) {
+    out.push_back(std::max(4, static_cast<int>(p * s)));
+  }
+  return out;
+}
+
+}  // namespace whale::bench

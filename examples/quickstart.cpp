@@ -1,0 +1,113 @@
+// Quickstart: build a topology against the DSPS API, run it under two
+// system variants (Apache-Storm-style instance-oriented communication vs
+// Whale), and compare the one-to-many partitioning performance.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The topology is deliberately tiny:
+//
+//   sensor spout --all--> analyzer (N instances) --fields--> alerter
+//
+// Every sensor reading is broadcast to every analyzer instance
+// (all grouping — the partitioning strategy this library is about).
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.h"
+#include "dsps/topology.h"
+
+using namespace whale;
+
+namespace {
+
+// A spout producing synthetic sensor readings {sensor_id, value}.
+class SensorSpout : public dsps::Spout {
+ public:
+  dsps::Tuple next(Rng& rng) override {
+    dsps::Tuple t;
+    t.values.reserve(2);
+    t.values.emplace_back(rng.uniform_int(0, 99));  // sensor id
+    t.values.emplace_back(rng.uniform(0.0, 100.0));  // reading
+    return t;
+  }
+};
+
+// Each analyzer instance watches every reading (hence all-grouping) and
+// emits an alert when its own threshold slice is crossed.
+class AnalyzerBolt : public dsps::Bolt {
+ public:
+  void prepare(const dsps::TaskContext& ctx) override {
+    threshold_ = 95.0 + static_cast<double>(ctx.instance_index) /
+                            static_cast<double>(ctx.parallelism) * 4.9;
+  }
+  Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override {
+    if (t.as_double(1) > threshold_) {
+      dsps::Tuple alert;
+      alert.values.reserve(2);
+      alert.values.emplace_back(t.as_int(0));
+      alert.values.emplace_back(t.as_double(1));
+      out.emit(std::move(alert));
+    }
+    return us(5);  // modeled CPU time of the analysis
+  }
+
+ private:
+  double threshold_ = 0.0;
+};
+
+// Sink: counts alerts per sensor.
+class AlerterBolt : public dsps::Bolt {
+ public:
+  Duration execute(const dsps::Tuple&, dsps::Emitter&) override {
+    ++alerts_;
+    return us(1);
+  }
+  uint64_t alerts() const { return alerts_; }
+
+ private:
+  uint64_t alerts_ = 0;
+};
+
+dsps::Topology build_topology(int analyzers) {
+  dsps::TopologyBuilder b;
+  const int sensors = b.add_spout(
+      "sensors", [] { return std::make_unique<SensorSpout>(); },
+      /*parallelism=*/1, dsps::RateProfile::constant(5000));
+  const int analyzer = b.add_bolt(
+      "analyzer", [] { return std::make_unique<AnalyzerBolt>(); }, analyzers);
+  const int alerter = b.add_bolt(
+      "alerter", [] { return std::make_unique<AlerterBolt>(); }, 2);
+  b.connect(sensors, analyzer, dsps::Grouping::kAll);        // one-to-many!
+  b.connect(analyzer, alerter, dsps::Grouping::kFields, 0);  // by sensor id
+  return b.build();
+}
+
+void run(core::SystemVariant variant) {
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 8;  // 8 simulated machines
+  cfg.variant = variant;
+  core::Engine engine(cfg, build_topology(/*analyzers=*/64));
+  const auto& r = engine.run(/*warmup=*/ms(200), /*measure=*/sec(1));
+
+  std::printf("%-24s broadcast throughput %8.0f tuples/s   "
+              "processing latency %6.2f ms   multicast latency %6.2f ms   "
+              "source CPU %3.0f%%\n",
+              variant.name().c_str(), r.mcast_throughput_tps,
+              r.processing_latency_ms_avg(), r.mcast_latency_ms_avg(),
+              100.0 * r.src_utilization);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("one-to-many partitioning: 1 spout -> 64 analyzer instances "
+              "on 8 machines, 5000 readings/s\n\n");
+  run(core::SystemVariant::Storm());
+  run(core::SystemVariant::RdmaStorm());
+  run(core::SystemVariant::Whale());
+  std::printf("\nWhale serializes each reading once per worker (not per "
+              "instance) and relays it\nthrough a self-adjusting "
+              "non-blocking multicast tree over RDMA.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full local check: configure, build, run the test suite, and smoke the
+# bench binaries at reduced scale (every figure bench runs, just smaller
+# and shorter). Intended as the pre-merge gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+# Reduced-scale bench smoke: ~1/8 of the paper's parallelism, 80 ms
+# windows. This checks that every experiment binary runs end to end, not
+# that the numbers match the paper (use full scale for that).
+export WHALE_BENCH_SCALE=0.125
+export WHALE_BENCH_WINDOW_MS=80
+export WHALE_BENCH_WARMUP_MS=40
+export WHALE_BENCH_DYN_SEGMENT_MS=120
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "--- $b"
+  "$b" > /dev/null
+done
+echo "all checks passed"

@@ -1,0 +1,33 @@
+// Ride-hailing application topology (paper Fig. 4):
+//
+//   driver-location spout  --fields(driver)-->  matching  --fields(req)-->
+//   passenger-request spout --all-------------^              aggregation
+//
+// The passenger-request stream is the one-to-many stream whose partitioning
+// the paper studies.
+#pragma once
+
+#include "dsps/topology.h"
+#include "workloads/ridehailing.h"
+
+namespace whale::apps {
+
+struct RideHailingAppParams {
+  workloads::RideHailingParams workload;
+  int matching_parallelism = 480;
+  int aggregation_parallelism = 8;
+  int driver_spout_parallelism = 2;
+  dsps::RateProfile request_rate = dsps::RateProfile::constant(10000);
+  dsps::RateProfile driver_rate = dsps::RateProfile::constant(5000);
+};
+
+struct BuiltApp {
+  dsps::Topology topology;
+  int all_grouped_stream = -1;  // the stream under study
+  int matching_op = -1;
+  int sink_op = -1;
+};
+
+BuiltApp build_ride_hailing(const RideHailingAppParams& p);
+
+}  // namespace whale::apps

@@ -1,0 +1,44 @@
+#include "apps/stock_app.h"
+
+namespace whale::apps {
+
+BuiltStockApp build_stock_exchange(const StockAppParams& p) {
+  dsps::TopologyBuilder b;
+  const auto wl = p.workload;
+  const int source = b.add_spout(
+      "orders", [wl] { return std::make_unique<workloads::StockSpout>(wl); },
+      /*parallelism=*/1, p.order_rate);
+  // The split operator must stay at parallelism 1: it is the source
+  // instance S of the one-to-many partitioning (Sec. 3.2).
+  const bool two = p.separate_buy_sell_streams;
+  const int split = b.add_bolt(
+      "split",
+      [wl, two] { return std::make_unique<workloads::SplitBolt>(wl, two); },
+      /*parallelism=*/1);
+  const int matching = b.add_bolt(
+      "matching",
+      [wl] { return std::make_unique<workloads::StockMatchingBolt>(wl); },
+      p.matching_parallelism);
+  const int aggregation = b.add_bolt(
+      "aggregation",
+      [wl] { return std::make_unique<workloads::VolumeAggregationBolt>(wl); },
+      p.aggregation_parallelism);
+
+  b.connect(source, split, dsps::Grouping::kShuffle);
+  const int buy_stream = b.connect(split, matching, dsps::Grouping::kAll);
+  int sell_stream = -1;
+  if (two) {
+    sell_stream = b.connect(split, matching, dsps::Grouping::kAll);
+  }
+  b.connect(matching, aggregation, dsps::Grouping::kFields, /*key_field=*/0);
+
+  BuiltStockApp app;
+  app.topology = b.build();
+  app.all_grouped_stream = buy_stream;
+  app.sell_stream = sell_stream;
+  app.matching_op = matching;
+  app.sink_op = aggregation;
+  return app;
+}
+
+}  // namespace whale::apps

@@ -1,0 +1,35 @@
+// Stock-exchange application topology (Sec. 5.1):
+//
+//   order spout --shuffle--> split --all--> matching --fields(symbol)-->
+//                                                       aggregation
+//
+// The split operator's output is the one-to-many stream under study.
+#pragma once
+
+#include "dsps/topology.h"
+#include "workloads/stock.h"
+
+namespace whale::apps {
+
+struct StockAppParams {
+  workloads::StockParams workload;
+  int matching_parallelism = 480;
+  int aggregation_parallelism = 8;
+  dsps::RateProfile order_rate = dsps::RateProfile::constant(10000);
+  // Paper-literal mode: the split operator divides orders into a buying
+  // stream and a selling stream, BOTH all-grouped into matching (two
+  // multicast groups share the source). Default keeps one tagged stream.
+  bool separate_buy_sell_streams = false;
+};
+
+struct BuiltStockApp {
+  dsps::Topology topology;
+  int all_grouped_stream = -1;   // buy stream in two-stream mode
+  int sell_stream = -1;          // -1 in single-stream mode
+  int matching_op = -1;
+  int sink_op = -1;
+};
+
+BuiltStockApp build_stock_exchange(const StockAppParams& p);
+
+}  // namespace whale::apps

@@ -1,0 +1,127 @@
+// Byte-level serialization primitives.
+//
+// Tuples really are encoded to and decoded from these buffers at worker
+// boundaries, so the communication-traffic numbers reported by the benches
+// are measured byte counts, not estimates. Encoding is little-endian,
+// length-prefixed, with LEB128 varints for counts and ids.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whale {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(uint16_t v) { put_raw(&v, sizeof(v)); }
+  void put_u32(uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+
+  // Unsigned LEB128 — compact encoding for small ids/counts.
+  void put_varint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    put_raw(s.data(), s.size());
+  }
+
+  void put_bytes(std::span<const uint8_t> b) {
+    put_varint(b.size());
+    put_raw(b.data(), b.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t get_u8() { return get_raw<uint8_t>(); }
+  uint16_t get_u16() { return get_raw<uint16_t>(); }
+  uint32_t get_u32() { return get_raw<uint32_t>(); }
+  uint64_t get_u64() { return get_raw<uint64_t>(); }
+  int64_t get_i64() { return get_raw<int64_t>(); }
+  double get_f64() { return get_raw<double>(); }
+
+  uint64_t get_varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) throw std::out_of_range("varint past end");
+      const uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 63) throw std::runtime_error("varint too long");
+    }
+    return v;
+  }
+
+  std::string get_string() {
+    const size_t n = get_varint();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<uint8_t> get_bytes() {
+    const size_t n = get_varint();
+    check(n);
+    std::vector<uint8_t> b(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T get_raw() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void check(size_t n) const {
+    if (pos_ + n > data_.size()) throw std::out_of_range("read past end");
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace whale

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Off by default so benches stay quiet; tests and
+// examples can raise the level. Not thread safe — the simulator is single
+// threaded by design.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace whale {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void log(LogLevel lvl, const char* fmt, Args... args) {
+    if (lvl < level()) return;
+    const char* tag = "?";
+    switch (lvl) {
+      case LogLevel::kDebug: tag = "D"; break;
+      case LogLevel::kInfo: tag = "I"; break;
+      case LogLevel::kWarn: tag = "W"; break;
+      case LogLevel::kError: tag = "E"; break;
+      case LogLevel::kOff: return;
+    }
+    std::fprintf(stderr, "[%s] ", tag);
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+  }
+};
+
+#define WHALE_LOG_DEBUG(...) \
+  ::whale::Logger::log(::whale::LogLevel::kDebug, __VA_ARGS__)
+#define WHALE_LOG_INFO(...) \
+  ::whale::Logger::log(::whale::LogLevel::kInfo, __VA_ARGS__)
+#define WHALE_LOG_WARN(...) \
+  ::whale::Logger::log(::whale::LogLevel::kWarn, __VA_ARGS__)
+#define WHALE_LOG_ERROR(...) \
+  ::whale::Logger::log(::whale::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace whale

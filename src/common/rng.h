@@ -1,0 +1,114 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every experiment owns a single Rng seeded from its config; the simulation
+// kernel is single threaded, so a plain (non-atomic) generator is safe. The
+// engine is xoshiro256** (public domain, Blackman & Vigna) seeded through
+// SplitMix64 so that small consecutive seeds give unrelated streams.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace whale {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 to expand the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Core xoshiro256** step.
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, n). n must be > 0. Uses Lemire's multiply-shift
+  // rejection-free-in-practice reduction (bias < 2^-64 for our n).
+  uint64_t next_below(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    next_below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Exponential with the given rate (events per unit); used for Poisson
+  // inter-arrival gaps.
+  double exponential(double rate) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Normal via Box-Muller (the spare is discarded; simplicity over speed —
+  // not used on hot paths).
+  double normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = next_double();
+    } while (u1 <= 0.0);
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_{};
+};
+
+// Zipf-distributed sampler over ranks {0, .., n-1} with exponent `s`,
+// implemented by inverting the precomputed CDF with binary search. Used by
+// the stock workload to model skewed symbol popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  // Returns a rank in [0, n); rank 0 is the most popular item.
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace whale

@@ -1,0 +1,98 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace whale {
+
+void StreamingStats::merge(const StreamingStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const uint64_t n = n_ + o.n_;
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / static_cast<double>(n);
+  mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+  n_ = n;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+namespace {
+// 16 sub-buckets per power of two; covers durations up to 2^48 ns (~3 days).
+constexpr int kSubBuckets = 16;
+constexpr int kMaxExp = 48;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kMaxExp) * kSubBuckets, 0) {}
+
+size_t LatencyHistogram::bucket_for(Duration d) {
+  if (d < 0) d = 0;
+  if (d < kSubBuckets) return static_cast<size_t>(d);
+  const int exp = 63 - __builtin_clzll(static_cast<uint64_t>(d));
+  // Index of the sub-bucket inside this octave.
+  const int sub =
+      static_cast<int>((static_cast<uint64_t>(d) >> (exp - 4)) & (kSubBuckets - 1));
+  size_t b = static_cast<size_t>(exp - 3) * kSubBuckets + static_cast<size_t>(sub);
+  const size_t last = static_cast<size_t>(kMaxExp) * kSubBuckets - 1;
+  return std::min(b, last);
+}
+
+Duration LatencyHistogram::bucket_upper(size_t b) {
+  if (b < kSubBuckets) return static_cast<Duration>(b);
+  const size_t exp = b / kSubBuckets + 3;
+  const size_t sub = b % kSubBuckets;
+  // Bucket b spans [2^exp + sub*2^(exp-4), 2^exp + (sub+1)*2^(exp-4)).
+  return static_cast<Duration>(
+      (static_cast<uint64_t>(kSubBuckets) + sub + 1) << (exp - 4));
+}
+
+void LatencyHistogram::add(Duration d) {
+  ++buckets_[bucket_for(d)];
+  ++total_;
+  sum_ += static_cast<double>(d);
+  max_ = std::max(max_, d);
+}
+
+Duration LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  uint64_t acc = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    acc += buckets_[b];
+    if (acc >= target && buckets_[b] > 0) return bucket_upper(b);
+    if (acc >= target) return bucket_upper(b);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  assert(buckets_.size() == o.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  total_ += o.total_;
+  sum_ += o.sum_;
+  max_ = std::max(max_, o.max_);
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  max_ = 0;
+}
+
+void TimeSeries::add(Time t, double value) {
+  if (t < 0) return;
+  const size_t bin = static_cast<size_t>(t / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+  bins_[bin] += value;
+}
+
+}  // namespace whale

@@ -1,0 +1,126 @@
+// Statistics containers used by the metrics pipeline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace whale {
+
+// Running mean/variance/min/max (Welford). O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const StreamingStats& o);
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Log-bucketed histogram for latency percentiles. Buckets grow by ~9% per
+// step (26 sub-buckets per octave-ish), giving <5% quantile error over a
+// nanosecond..hour range with a few KB of memory.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(Duration d);
+  uint64_t count() const { return total_; }
+  // q in [0, 1]; returns an upper bound of the bucket containing quantile q.
+  Duration quantile(double q) const;
+  Duration p50() const { return quantile(0.50); }
+  Duration p99() const { return quantile(0.99); }
+  double mean_ns() const { return total_ ? sum_ / double(total_) : 0.0; }
+  Duration max() const { return max_; }
+
+  void merge(const LatencyHistogram& o);
+  void clear();
+
+ private:
+  static size_t bucket_for(Duration d);
+  static Duration bucket_upper(size_t b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+  Duration max_ = 0;
+};
+
+// Fixed-width time-binned counter; used for throughput-over-time plots
+// (Figs. 23/24). Bins are created lazily as time advances.
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bin_width) : bin_width_(bin_width) {}
+
+  void add(Time t, double value = 1.0);
+
+  Duration bin_width() const { return bin_width_; }
+  size_t num_bins() const { return bins_.size(); }
+  double bin_value(size_t i) const { return bins_[i]; }
+  Time bin_start(size_t i) const {
+    return static_cast<Time>(i) * bin_width_;
+  }
+  // Value converted to a per-second rate.
+  double bin_rate(size_t i) const {
+    return bins_[i] / to_seconds(bin_width_);
+  }
+
+ private:
+  Duration bin_width_;
+  std::vector<double> bins_;
+};
+
+// Exponentially weighted moving average: v <- alpha*v + (1-alpha)*x.
+// This is exactly the lambda(t) = alpha*lambda(t-1) + (1-alpha)*N(t)
+// smoothing the paper's statistics monitor uses (Sec. 4).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1.0 - alpha_) * x;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace whale

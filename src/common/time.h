@@ -1,0 +1,45 @@
+// Simulated-time units used across the whole project.
+//
+// All simulation timestamps and durations are integral nanoseconds. We use
+// plain int64_t aliases (instead of std::chrono) because the discrete event
+// kernel needs a totally ordered scalar key and the cost model does a lot of
+// arithmetic on durations; helpers below keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace whale {
+
+// Absolute simulated time in nanoseconds since simulation start.
+using Time = int64_t;
+// A span of simulated time in nanoseconds. May be negative in intermediate
+// arithmetic, never when passed to the kernel.
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration ns(int64_t v) { return v * kNanosecond; }
+constexpr Duration us(int64_t v) { return v * kMicrosecond; }
+constexpr Duration ms(int64_t v) { return v * kMillisecond; }
+constexpr Duration sec(int64_t v) { return v * kSecond; }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_micros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+// Duration of `n` events arriving at `rate_per_sec` (used by rate-controlled
+// sources); rounds to the nearest nanosecond.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+}  // namespace whale

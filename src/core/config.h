@@ -1,0 +1,76 @@
+// Engine configuration: everything an experiment can vary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "multicast/controller.h"
+#include "net/cluster.h"
+#include "net/cost_model.h"
+#include "rdma/verbs.h"
+#include "core/variant.h"
+
+namespace whale::core {
+
+struct EngineConfig {
+  net::ClusterSpec cluster;
+  net::CostModel cost;
+  SystemVariant variant = SystemVariant::Whale();
+
+  // Model physical-core contention: all threads of a node (executors +
+  // worker send/recv threads) share cores_per_node cores FCFS. Off by
+  // default (the paper's setup pins one instance per core).
+  bool model_core_contention = false;
+
+  // Transfer queue capacity Q (per worker process).
+  size_t transfer_queue_capacity = 2048;
+  // Executor incoming queue capacity (drops counted on overflow).
+  size_t executor_queue_capacity = 4096;
+
+  // Whale: per-destination scheduling cost at the source executor when
+  // replicating a multicast tuple onto d0 channels (the t_d of Sec. 4):
+  // queue ops + channel buffer append per cascading destination.
+  Duration mcast_schedule_per_child = ns(3500);
+  // Encoding the per-worker BatchTuple header around an already-serialized
+  // body (worker-oriented communication reserializes nothing).
+  Duration woc_header_cost = ns(600);
+
+  // Stream slicing (Sec. 4): flush when the per-channel buffer reaches MMS
+  // bytes or the oldest buffered tuple has waited WTL.
+  uint64_t mms_bytes = 256 * 1024;
+  Duration wtl = ms(1);
+
+  // RDMA channel parameters.
+  rdma::QpConfig qp;
+
+  // Self-adjusting controller (non-blocking multicast only).
+  multicast::ControllerConfig controller;
+  // Initial maximum out-degree d*; 0 = start at the binomial out-degree
+  // (the tree the controller converges to under light load anyway).
+  int initial_dstar = 0;
+  // Disable to pin d* at initial_dstar (ablations, Figs. 21/22).
+  bool self_adjust = true;
+  // Establishing a replacement RDMA connection during dynamic switching
+  // (QP create + handshake + registration); dominates T_switch.
+  Duration switch_connection_setup = ms(60);
+  uint64_t control_message_bytes = 64;
+
+  // Statistics monitoring (Sec. 4).
+  Duration monitor_unit = ms(100);
+  double lambda_alpha = 0.8;
+
+  // Storm-style tuple-tree acking ("ideal acker": the XOR ledger is exact
+  // but acker-bolt message traffic is not charged). Gives the paper's
+  // "fully processed" completion signal and at-least-once failure counts.
+  bool enable_acking = false;
+  Duration ack_timeout = sec(30);
+
+  uint64_t seed = 42;
+
+  // Metrics: bin width for over-time series (Figs. 23/24) and the sampling
+  // stride for per-tuple multicast/comm-time tracking (1 = every tuple).
+  Duration timeseries_bin = ms(20);
+  uint64_t tuple_sample_stride = 1;
+};
+
+}  // namespace whale::core

@@ -1,0 +1,1466 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "multicast/queue_model.h"
+
+namespace whale::core {
+
+namespace {
+
+// Control payload layout: u8 ctype. 0 = StatusMessage (informational),
+// 1 = reconfigure (recipient must re-establish a connection and ACK).
+enum CtrlType : uint8_t { kStatus = 0, kReconfigure = 1 };
+
+constexpr uint64_t kMaxTrackedTuples = 1 << 20;
+
+}  // namespace
+
+Engine::Engine(EngineConfig cfg, dsps::Topology topo)
+    : cfg_(std::move(cfg)), topo_(std::move(topo)), rng_(cfg_.seed) {
+  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.cluster);
+  build_runtime();
+  build_mcast_groups();
+  // The "source instance" whose CPU/queue/egress the report tracks: the
+  // source of the first all-grouped stream (any variant), else task 0.
+  for (const auto& s : topo_.streams) {
+    if (s.grouping == dsps::Grouping::kAll) {
+      primary_src_task_ = op_tasks_[static_cast<size_t>(s.from_op)][0];
+      break;
+    }
+  }
+  if (primary_src_task_ < 0 && !tasks_.empty()) primary_src_task_ = 0;
+  if (primary_src_task_ >= 0) {
+    primary_src_worker_ =
+        tasks_[static_cast<size_t>(primary_src_task_)]->worker;
+  }
+  mcast_processed_per_stream_.assign(topo_.streams.size(), 0);
+  stream_dst_count_.assign(topo_.streams.size(), 1);
+  for (const auto& s : topo_.streams) {
+    if (s.grouping == dsps::Grouping::kAll) {
+      stream_dst_count_[static_cast<size_t>(s.id)] = static_cast<uint32_t>(
+          topo_.ops[static_cast<size_t>(s.to_op)].parallelism);
+    }
+  }
+}
+
+std::pair<Duration, sim::CpuCategory> Engine::source_send_cost(
+    uint64_t bytes) const {
+  switch (cfg_.variant.transport) {
+    case TransportMode::kTcp:
+      // Multi-layer protocol processing + kernel copy per message.
+      return {cfg_.cost.tcp_send_time(bytes), sim::CpuCategory::kProtocol};
+    case TransportMode::kRdmaSendRecv:
+      return {cfg_.cost.rdma_post, sim::CpuCategory::kRdmaPost};
+    case TransportMode::kRdmaOptimized:
+    default:
+      // Zero-copy append towards the sliced channel.
+      return {cfg_.cost.local_enqueue, sim::CpuCategory::kRdmaPost};
+  }
+}
+
+Engine::~Engine() = default;
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+void Engine::build_runtime() {
+  const int num_workers = cfg_.cluster.num_nodes;
+  if (cfg_.model_core_contention) {
+    for (int n = 0; n < num_workers; ++n) {
+      core_pools_.push_back(std::make_unique<sim::CorePool>(
+          sim_, cfg_.cluster.cores_per_node));
+    }
+  }
+  auto pool_of = [this](int node) -> sim::CorePool* {
+    return cfg_.model_core_contention
+               ? core_pools_[static_cast<size_t>(node)].get()
+               : nullptr;
+  };
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    auto wr = std::make_unique<WorkerRt>();
+    wr->id = w;
+    wr->node = w;  // one worker process per node (paper setup)
+    wr->send_cpu = std::make_unique<sim::CpuServer>(
+        sim_, "w" + std::to_string(w) + ".send", pool_of(w));
+    wr->recv_cpu = std::make_unique<sim::CpuServer>(
+        sim_, "w" + std::to_string(w) + ".recv", pool_of(w));
+    wr->transfer_queue = std::make_unique<sim::BoundedQueue<OutMsg>>(
+        cfg_.transfer_queue_capacity);
+    wr->data_qps.resize(static_cast<size_t>(num_workers));
+    wr->ctrl_qps.resize(static_cast<size_t>(num_workers));
+    wr->slicers.resize(static_cast<size_t>(num_workers));
+    wr->op_local_tasks.resize(topo_.ops.size());
+    WorkerRt* raw = wr.get();
+    wr->transfer_queue->set_on_item([this, raw] { pump_worker(*raw); });
+    workers_.push_back(std::move(wr));
+  }
+
+  op_tasks_.resize(topo_.ops.size());
+  int task_id = 0;
+  for (size_t op = 0; op < topo_.ops.size(); ++op) {
+    const auto& spec = topo_.ops[op];
+    for (int i = 0; i < spec.parallelism; ++i) {
+      auto t = std::make_unique<TaskRt>();
+      t->id = task_id++;
+      t->op = static_cast<int>(op);
+      t->instance = i;
+      t->worker = i % num_workers;  // Storm-style round-robin placement
+      t->node = workers_[static_cast<size_t>(t->worker)]->node;
+      t->cpu = std::make_unique<sim::CpuServer>(
+          sim_, spec.name + "[" + std::to_string(i) + "]",
+          pool_of(t->node));
+      t->in_queue = std::make_unique<sim::BoundedQueue<Delivery>>(
+          cfg_.executor_queue_capacity);
+      t->shuffle_counters.assign(spec.out_streams.size(), 0);
+      dsps::TaskContext ctx{t->id,        t->op,    t->instance,
+                            spec.parallelism, t->worker, t->node};
+      if (spec.is_spout) {
+        t->spout = spec.spout_factory();
+        t->spout->prepare(ctx);
+      } else {
+        t->bolt = spec.bolt_factory();
+        t->bolt->prepare(ctx);
+      }
+      TaskRt* raw = t.get();
+      t->in_queue->set_on_item([this, raw] { pump_task(*raw); });
+      op_tasks_[op].push_back(t->id);
+      workers_[static_cast<size_t>(t->worker)]
+          ->op_local_tasks[op]
+          .push_back(t->id);
+      tasks_.push_back(std::move(t));
+    }
+  }
+}
+
+void Engine::build_mcast_groups() {
+  // Multicast groups exist when all-grouped data is serialized once and
+  // disseminated as shared bytes: always under worker-oriented
+  // communication, and under instance-oriented communication only for tree
+  // structures (RDMC). Plain Storm (instance + sequential) serializes per
+  // destination instance and needs no group.
+  const bool worker_level = cfg_.variant.comm == CommMode::kWorker;
+  const bool instance_tree = cfg_.variant.comm == CommMode::kInstance &&
+                             cfg_.variant.mcast != McastMode::kSequential;
+  if (!worker_level && !instance_tree) return;
+
+  for (const auto& s : topo_.streams) {
+    if (s.grouping != dsps::Grouping::kAll) continue;
+    const auto& from = topo_.ops[static_cast<size_t>(s.from_op)];
+    if (from.parallelism != 1) {
+      throw std::invalid_argument(
+          "multicast requires the all-grouped stream's source operator to "
+          "have parallelism 1 (operator '" + from.name + "')");
+    }
+    auto g = std::make_unique<McastGroup>();
+    g->id = static_cast<uint32_t>(groups_.size());
+    g->stream = s.id;
+    g->dst_op = s.to_op;
+    g->src_task = op_tasks_[static_cast<size_t>(s.from_op)][0];
+    g->src_worker = tasks_[static_cast<size_t>(g->src_task)]->worker;
+    g->worker_level = worker_level;
+    g->total_dst_instances =
+        op_tasks_[static_cast<size_t>(s.to_op)].size();
+
+    if (worker_level) {
+      // Endpoints: every worker hosting destination instances, source
+      // worker first (tree node 0).
+      g->endpoint_index.assign(workers_.size(), -1);
+      g->endpoints.push_back(g->src_worker);
+      g->endpoint_index[static_cast<size_t>(g->src_worker)] = 0;
+      for (const auto& w : workers_) {
+        if (w->id == g->src_worker) continue;
+        if (!w->op_local_tasks[static_cast<size_t>(s.to_op)].empty()) {
+          g->endpoint_index[static_cast<size_t>(w->id)] =
+              static_cast<int>(g->endpoints.size());
+          g->endpoints.push_back(w->id);
+        }
+      }
+    } else {
+      // RDMC: endpoints are the destination task instances themselves.
+      g->endpoint_index.assign(tasks_.size(), -1);
+      g->endpoints.push_back(g->src_task);
+      g->endpoint_index[static_cast<size_t>(g->src_task)] = 0;
+      for (int t : op_tasks_[static_cast<size_t>(s.to_op)]) {
+        g->endpoint_index[static_cast<size_t>(t)] =
+            static_cast<int>(g->endpoints.size());
+        g->endpoints.push_back(t);
+      }
+    }
+
+    const int n = static_cast<int>(g->endpoints.size()) - 1;
+    switch (cfg_.variant.mcast) {
+      case McastMode::kSequential:
+        g->tree = multicast::MulticastTree::build_sequential(n);
+        break;
+      case McastMode::kBinomial:
+        g->tree = multicast::MulticastTree::build_binomial(n);
+        break;
+      case McastMode::kNonblocking: {
+        const int cap = std::max(1, multicast::MD1::binomial_out_degree(n));
+        const int d0 = cfg_.initial_dstar > 0
+                           ? std::min(cfg_.initial_dstar, cap)
+                           : cap;
+        g->tree = multicast::MulticastTree::build_nonblocking(n, d0);
+        if (cfg_.self_adjust) {
+          g->controller =
+              std::make_unique<multicast::SelfAdjustingController>(
+                  cfg_.controller, cfg_.executor_queue_capacity, n, d0);
+          g->stream_monitor = std::make_unique<multicast::StreamMonitor>(
+              cfg_.monitor_unit, cfg_.lambda_alpha);
+        }
+        break;
+      }
+    }
+    if (primary_src_task_ < 0) primary_src_task_ = g->src_task;
+    stream_to_group_[s.id] = g->id;
+    groups_.push_back(std::move(g));
+  }
+}
+
+int Engine::group_dstar(size_t g) const {
+  const auto& grp = *groups_[g];
+  return grp.controller ? grp.controller->dstar() : grp.tree.max_out_degree();
+}
+
+uint64_t Engine::transfer_queue_len(int worker) const {
+  return workers_[static_cast<size_t>(worker)]->transfer_queue->size();
+}
+
+rdma::QueuePair& Engine::data_qp(int src_worker, int dst_worker) {
+  auto& w = *workers_[static_cast<size_t>(src_worker)];
+  auto& slot = w.data_qps[static_cast<size_t>(dst_worker)];
+  if (!slot) {
+    rdma::QpConfig qc = cfg_.qp;
+    qc.verb = cfg_.variant.transport == TransportMode::kRdmaOptimized
+                  ? rdma::Verb::kRead
+                  : rdma::Verb::kSendRecv;
+    auto& dw = *workers_[static_cast<size_t>(dst_worker)];
+    slot = std::make_unique<rdma::QueuePair>(
+        *fabric_, cfg_.cost, qc,
+        rdma::QpEndpoint{w.node, w.send_cpu.get()},
+        rdma::QpEndpoint{dw.node, dw.recv_cpu.get()});
+    WorkerRt* draw = &dw;
+    slot->set_recv_handler([this, draw, src_worker](rdma::Packet p) {
+      handle_bytes(*draw, std::move(p), src_worker);
+    });
+  }
+  return *slot;
+}
+
+rdma::QueuePair& Engine::ctrl_qp(int src_worker, int dst_worker) {
+  auto& w = *workers_[static_cast<size_t>(src_worker)];
+  auto& slot = w.ctrl_qps[static_cast<size_t>(dst_worker)];
+  if (!slot) {
+    rdma::QpConfig qc = cfg_.qp;
+    qc.verb = rdma::Verb::kSendRecv;  // control always uses SEND/RECV (Sec. 4)
+    auto& dw = *workers_[static_cast<size_t>(dst_worker)];
+    slot = std::make_unique<rdma::QueuePair>(
+        *fabric_, cfg_.cost, qc,
+        rdma::QpEndpoint{w.node, w.send_cpu.get()},
+        rdma::QpEndpoint{dw.node, dw.recv_cpu.get()});
+    WorkerRt* draw = &dw;
+    slot->set_recv_handler([this, draw, src_worker](rdma::Packet p) {
+      handle_bytes(*draw, std::move(p), src_worker);
+    });
+  }
+  return *slot;
+}
+
+SlicingBuffer& Engine::slicer(int src_worker, int dst_worker) {
+  auto& w = *workers_[static_cast<size_t>(src_worker)];
+  auto& slot = w.slicers[static_cast<size_t>(dst_worker)];
+  if (!slot) {
+    rdma::QueuePair* qp = &data_qp(src_worker, dst_worker);
+    slot = std::make_unique<SlicingBuffer>(
+        sim_, cfg_.mms_bytes, cfg_.wtl,
+        [qp](rdma::Bundle& b) { return qp->transmit(b); },
+        [qp](std::function<void()> retry) {
+          qp->wait_for_space(std::move(retry));
+        });
+  }
+  return *slot;
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+const RunReport& Engine::run(Duration warmup, Duration measure) {
+  if (running_) throw std::logic_error("Engine::run called twice");
+  running_ = true;
+  window_start_ = warmup;
+  window_end_ = warmup + measure;
+  report_ = RunReport{};
+  report_.variant = cfg_.variant.name();
+  report_.warmup = warmup;
+  report_.window = measure;
+  report_.tput_series = TimeSeries(cfg_.timeseries_bin);
+  report_.lat_sum_series = TimeSeries(cfg_.timeseries_bin);
+  report_.lat_cnt_series = TimeSeries(cfg_.timeseries_bin);
+
+  if (cfg_.enable_acking) {
+    acker_.set_on_complete([this](uint64_t root, Time emit) {
+      pending_edges_.erase(root);
+      if (in_window()) {
+        ++report_.acked_roots;
+        report_.ack_latency.add(sim_.now() - emit);
+      }
+    });
+    acker_.set_on_fail([this](uint64_t root) {
+      pending_edges_.erase(root);
+      if (in_window()) ++report_.failed_roots;
+    });
+    auto sweep = std::make_shared<std::function<void()>>();
+    *sweep = [this, sweep] {
+      acker_.expire_older_than(sim_.now() - cfg_.ack_timeout);
+      if (sim_.now() < window_end_) sim_.schedule_after(sec(1), *sweep);
+    };
+    sim_.schedule_after(sec(1), *sweep);
+  }
+
+  for (auto& t : tasks_) {
+    if (t->spout) schedule_arrival(t->id);
+  }
+  start_monitoring();
+  sim_.schedule_at(window_start_, [this] { snapshot_at_window_start(); });
+
+  sim_.run_until(window_end_);
+  finalize_report(measure);
+  return report_;
+}
+
+void Engine::snapshot_at_window_start() {
+  for (auto& t : tasks_) t->busy_snapshot = t->cpu->busy_snapshot();
+  for (auto& t : tasks_) t->cpu->mark_window();
+  snap_bytes_tcp_ = fabric_->total_bytes_sent(net::Transport::kTcp);
+  snap_bytes_rdma_ = fabric_->total_bytes_sent(net::Transport::kRdma);
+  if (primary_src_task_ >= 0) {
+    const int node = tasks_[static_cast<size_t>(primary_src_task_)]->node;
+    snap_src_node_bytes_ =
+        fabric_->bytes_sent(net::Transport::kTcp, node) +
+        fabric_->bytes_sent(net::Transport::kRdma, node);
+  }
+}
+
+void Engine::start_monitoring() {
+  // Queue-length sampling for the report (1 ms) and for the self-adjusting
+  // controllers (cfg_.controller.sample_interval).
+  if (primary_src_task_ >= 0 || !tasks_.empty()) {
+    const int src = primary_src_task_ >= 0 ? primary_src_task_ : 0;
+    auto sample = std::make_shared<std::function<void()>>();
+    *sample = [this, src, sample] {
+      if (in_window()) {
+        const auto& q = *tasks_[static_cast<size_t>(src)]->in_queue;
+        queue_len_accum_ += static_cast<double>(q.size());
+        ++queue_samples_;
+        report_.transfer_queue_max =
+            std::max(report_.transfer_queue_max, q.size());
+      }
+      if (sim_.now() < window_end_) sim_.schedule_after(ms(1), *sample);
+    };
+    sim_.schedule_after(ms(1), *sample);
+  }
+
+  for (auto& gp : groups_) {
+    if (!gp->controller) continue;
+    McastGroup* g = gp.get();
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, g, tick] {
+      controller_sample(*g);
+      if (sim_.now() < window_end_) {
+        sim_.schedule_after(cfg_.controller.sample_interval, *tick);
+      }
+    };
+    sim_.schedule_after(cfg_.controller.sample_interval, *tick);
+  }
+}
+
+void Engine::finalize_report(Duration measure) {
+  const double secs = to_seconds(measure);
+  double mcast_tuples = 0.0;
+  for (const auto& s : topo_.streams) {
+    if (s.grouping != dsps::Grouping::kAll) continue;
+    mcast_tuples +=
+        static_cast<double>(
+            mcast_processed_per_stream_[static_cast<size_t>(s.id)]) /
+        static_cast<double>(stream_dst_count_[static_cast<size_t>(s.id)]);
+  }
+  report_.mcast_roots = static_cast<uint64_t>(mcast_tuples);
+  report_.mcast_throughput_tps = mcast_tuples / secs;
+  report_.sink_throughput_tps =
+      static_cast<double>(report_.sink_completions) / secs;
+
+  // Offered load: average configured spout rate over the window.
+  double offered = 0.0;
+  for (const auto& op : topo_.ops) {
+    if (!op.is_spout) continue;
+    // Piecewise integration of the rate profile over the window.
+    for (Time t = window_start_; t < window_end_; t += ms(1)) {
+      offered += op.rate.rate_at(t) * to_seconds(ms(1));
+    }
+  }
+  report_.offered_tps = offered / secs;
+
+  if (primary_src_task_ >= 0) {
+    auto& src = *tasks_[static_cast<size_t>(primary_src_task_)];
+    report_.src_utilization = src.cpu->utilization(window_start_);
+    report_.load_factor = report_.src_utilization;
+    for (size_t c = 0; c < report_.src_cpu_seconds.size(); ++c) {
+      report_.src_cpu_seconds[c] = to_seconds(
+          src.cpu->busy_time(static_cast<sim::CpuCategory>(c)));
+    }
+    // Downstream utilization: mean over the destination instances of the
+    // primary all-grouped stream (or all non-source tasks as fallback).
+    double sum = 0.0;
+    int count = 0;
+    int dst_op = -1;
+    for (const auto& g : groups_) {
+      if (g->src_task == primary_src_task_) {
+        dst_op = g->dst_op;
+        break;
+      }
+    }
+    for (const auto& t : tasks_) {
+      if (dst_op >= 0 ? t->op == dst_op : t->id != primary_src_task_) {
+        sum += t->cpu->utilization(window_start_);
+        ++count;
+      }
+    }
+    report_.downstream_utilization_avg = count ? sum / count : 0.0;
+
+    const int node = tasks_[static_cast<size_t>(primary_src_task_)]->node;
+    report_.src_node_bytes =
+        fabric_->bytes_sent(net::Transport::kTcp, node) +
+        fabric_->bytes_sent(net::Transport::kRdma, node) -
+        snap_src_node_bytes_;
+  }
+
+  report_.bytes_tcp =
+      fabric_->total_bytes_sent(net::Transport::kTcp) - snap_bytes_tcp_;
+  report_.bytes_rdma =
+      fabric_->total_bytes_sent(net::Transport::kRdma) - snap_bytes_rdma_;
+
+  report_.transfer_queue_avg =
+      queue_samples_ ? queue_len_accum_ / static_cast<double>(queue_samples_)
+                     : 0.0;
+
+  for (const auto& g : groups_) {
+    if (g->controller) {
+      report_.scale_ups += g->controller->scale_ups();
+      report_.scale_downs += g->controller->scale_downs();
+      report_.final_dstar = g->controller->dstar();
+    }
+  }
+  report_.sim_events = sim_.events_processed();
+}
+
+// ---------------------------------------------------------------------------
+// Data path: arrivals, executors, routing
+// ---------------------------------------------------------------------------
+
+void Engine::schedule_arrival(int task) {
+  auto& t = *tasks_[static_cast<size_t>(task)];
+  const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  const double rate =
+      op.rate.rate_at(sim_.now()) / static_cast<double>(op.parallelism);
+  if (rate <= 0.0) {
+    // Idle spout: poll again soon in case a rate step begins.
+    sim_.schedule_after(ms(10), [this, task] { schedule_arrival(task); });
+    return;
+  }
+  const Duration gap = from_seconds(rng_.exponential(rate));
+  sim_.schedule_after(gap, [this, task] {
+    auto& tk = *tasks_[static_cast<size_t>(task)];
+    auto tuple = std::make_shared<dsps::Tuple>(tk.spout->next(rng_));
+    auto* mut = const_cast<dsps::Tuple*>(tuple.get());
+    mut->root_id = next_root_id_++;
+    mut->root_emit_time = sim_.now();
+    if (in_window()) ++report_.roots_emitted;
+    if (cfg_.enable_acking) {
+      acker_.root_emitted(mut->root_id, sim_.now());
+    }
+    if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
+      if (in_window()) ++report_.input_drops;
+      if (cfg_.enable_acking) acker_.fail(tuple->root_id);
+    }
+    // Stream-rate monitoring for the self-adjusting controller.
+    for (auto& g : groups_) {
+      if (g->src_task == task && g->stream_monitor) {
+        g->stream_monitor->record_arrival(sim_.now());
+      }
+    }
+    if (sim_.now() < window_end_) schedule_arrival(task);
+  });
+}
+
+void Engine::pump_task(TaskRt& t) {
+  if (t.processing) return;
+  auto item = t.in_queue->try_pop();
+  if (!item) return;
+  t.processing = true;
+  process_tuple(t, std::move(*item));
+}
+
+void Engine::process_tuple(TaskRt& t, Delivery d) {
+  std::shared_ptr<const dsps::Tuple> tuple = std::move(d.tuple);
+  const uint64_t ack_edge = d.ack_edge;
+  const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  // A processed all-grouped tuple advances the throughput counters:
+  // system throughput = processed broadcast tuples per destination
+  // instance per second (robust under overload, where different
+  // instances drop different tuples).
+  if (!t.spout &&
+      topo_.streams[tuple->stream].grouping == dsps::Grouping::kAll) {
+    if (in_window()) {
+      ++mcast_processed_per_stream_[tuple->stream];
+      report_.tput_series.add(
+          sim_.now(),
+          1.0 / stream_dst_count_[tuple->stream]);
+    }
+  }
+  Duration cost;
+  std::vector<std::pair<size_t, dsps::Tuple>> emissions;
+  if (t.spout) {
+    cost = t.spout->emit_cost();
+    emissions.emplace_back(0, *tuple);
+  } else {
+    dsps::Emitter em;
+    cost = t.bolt->execute(*tuple, em);
+    emissions = std::move(em.take());
+    // Propagate root identity to descendants.
+    for (auto& [idx, e] : emissions) {
+      e.root_id = tuple->root_id;
+      e.root_emit_time = tuple->root_emit_time;
+    }
+    if (op.out_streams.empty()) {
+      // Sink operator: completion of this tuple's processing.
+      if (in_window()) {
+        ++report_.sink_completions;
+        const Duration lat = sim_.now() - tuple->root_emit_time;
+        report_.processing_latency.add(lat);
+        report_.lat_sum_series.add(sim_.now(), static_cast<double>(lat));
+        report_.lat_cnt_series.add(sim_.now(), 1.0);
+      }
+    }
+  }
+  // The M/D/1 model's per-tuple fixed term includes the source's own
+  // processing time, not just serialization: feed it to the monitor.
+  for (auto& g : groups_) {
+    if (g->src_task == t.id) g->app_monitor.record(cost);
+  }
+  TaskRt* traw = &t;
+  const bool is_spout = t.spout != nullptr;
+  const uint64_t root = tuple->root_id;
+  t.cpu->execute(
+      cost, sim::CpuCategory::kAppLogic,
+      [this, traw, root, ack_edge, is_spout,
+       emissions = std::move(emissions)]() mutable {
+        route_emissions(
+            *traw, std::move(emissions),
+            [this, traw, root, ack_edge, is_spout] {
+              // Children anchored (inside route_emissions) BEFORE the
+              // input edge is acked — Storm's ordering requirement.
+              if (cfg_.enable_acking) {
+                if (is_spout) {
+                  acker_.root_finished(root);
+                } else if (ack_edge != 0) {
+                  acker_.acked(root, ack_edge);
+                }
+              }
+              traw->processing = false;
+              pump_task(*traw);
+            });
+      });
+}
+
+void Engine::route_emissions(
+    TaskRt& t, std::vector<std::pair<size_t, dsps::Tuple>> emissions,
+    std::function<void()> done) {
+  if (emissions.empty()) {
+    done();
+    return;
+  }
+  // Process emissions sequentially: each may involve serialization jobs and
+  // transfer-queue waits on this executor.
+  auto remaining =
+      std::make_shared<std::vector<std::pair<size_t, dsps::Tuple>>>(
+          std::move(emissions));
+  auto idx = std::make_shared<size_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  TaskRt* traw = &t;
+  *step = [this, traw, remaining, idx, step, done = std::move(done)] {
+    if (*idx >= remaining->size()) {
+      done();
+      return;
+    }
+    auto& [out_idx, tuple] = (*remaining)[*idx];
+    ++*idx;
+    const auto& op = topo_.ops[static_cast<size_t>(traw->op)];
+    if (out_idx >= op.out_streams.size()) {
+      (*step)();  // emission on a nonexistent stream: drop silently
+      return;
+    }
+    const int stream = op.out_streams[out_idx];
+    send_emission(*traw, std::move(tuple), stream, [step] { (*step)(); });
+  };
+  (*step)();
+}
+
+void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
+                           std::function<void()> done) {
+  const auto& s = topo_.streams[static_cast<size_t>(stream)];
+  tuple.stream = static_cast<uint32_t>(stream);
+  auto tup = std::make_shared<const dsps::Tuple>(std::move(tuple));
+
+  if (s.grouping == dsps::Grouping::kAll) {
+    auto it = stream_to_group_.find(stream);
+    if (it != stream_to_group_.end()) {
+      send_mcast(t, *groups_[it->second], std::move(tup), std::move(done));
+      return;
+    }
+    // Instance-oriented sequential all-grouping (Storm / RDMA-Storm).
+    const auto& dsts = op_tasks_[static_cast<size_t>(s.to_op)];
+    if ((tup->root_id % cfg_.tuple_sample_stride) == 0) {
+      mcast_track_start(tup->root_id, tup->root_emit_time,
+                        static_cast<uint32_t>(dsts.size()));
+    }
+    send_point_to_point(t, std::move(tup), dsts, std::move(done));
+    return;
+  }
+
+  const auto& dst_tasks = op_tasks_[static_cast<size_t>(s.to_op)];
+  const size_t n = dst_tasks.size();
+  int dst;
+  switch (s.grouping) {
+    case dsps::Grouping::kShuffle: {
+      // Per-(task, out-stream) round-robin counter.
+      const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+      size_t oi = 0;
+      for (size_t i = 0; i < op.out_streams.size(); ++i) {
+        if (op.out_streams[i] == stream) oi = i;
+      }
+      dst = dst_tasks[t.shuffle_counters[oi]++ % n];
+      break;
+    }
+    case dsps::Grouping::kFields:
+      dst = dst_tasks[dsps::value_hash(tup->values[s.key_field]) % n];
+      break;
+    case dsps::Grouping::kGlobal:
+    default:
+      dst = dst_tasks[0];
+      break;
+  }
+  send_point_to_point(t, std::move(tup), {dst}, std::move(done));
+}
+
+void Engine::deliver_local(TaskRt& dst,
+                           std::shared_ptr<const dsps::Tuple> tup) {
+  // All-grouped deliveries feed the multicast-reception tracker.
+  const auto& s = topo_.streams[tup->stream];
+  if (s.grouping == dsps::Grouping::kAll) {
+    mcast_track_received(tup->root_id);
+  }
+  Delivery d{tup, 0};
+  if (cfg_.enable_acking) {
+    d.ack_edge = take_edge(tup->root_id, dst.id);
+  }
+  if (!dst.in_queue->try_push(d)) {
+    if (in_window()) ++report_.queue_rejects;
+    // A dropped tuple instance can never be acked: fail the whole root
+    // (Storm would replay it after the message timeout).
+    if (cfg_.enable_acking) acker_.fail(tup->root_id);
+  }
+}
+
+void Engine::anchor_edge(uint64_t root, int task) {
+  if (!acker_.tracking(root)) return;
+  // Edge ids must be (pseudo)random: the XOR ledger of sequential ids can
+  // cancel to zero prematurely (1 ^ 2 ^ 3 == 0). Hash the counter.
+  const uint64_t edge = dsps::value_hash(
+      dsps::Value{static_cast<int64_t>(next_ack_edge_++)});
+  acker_.anchored(root, edge);
+  pending_edges_[root][task].push_back(edge);
+}
+
+uint64_t Engine::take_edge(uint64_t root, int task) {
+  auto rit = pending_edges_.find(root);
+  if (rit == pending_edges_.end()) return 0;
+  auto tit = rit->second.find(task);
+  if (tit == rit->second.end() || tit->second.empty()) return 0;
+  const uint64_t edge = tit->second.front();
+  tit->second.erase(tit->second.begin());
+  if (tit->second.empty()) rit->second.erase(tit);
+  if (rit->second.empty()) pending_edges_.erase(rit);
+  return edge;
+}
+
+void Engine::send_point_to_point(TaskRt& t,
+                                 std::shared_ptr<const dsps::Tuple> tup,
+                                 std::vector<int> dsts,
+                                 std::function<void()> done) {
+  auto& w = *workers_[static_cast<size_t>(t.worker)];
+  if (cfg_.enable_acking) {
+    // Anchor every destination edge at emission time (Storm semantics).
+    for (int d : dsts) anchor_edge(tup->root_id, d);
+  }
+
+  // Local destinations skip serde entirely (Storm does the same).
+  std::vector<int> remote;
+  size_t local_count = 0;
+  for (int d : dsts) {
+    auto& dt = *tasks_[static_cast<size_t>(d)];
+    if (dt.worker == t.worker) {
+      ++local_count;
+    } else {
+      remote.push_back(d);
+    }
+  }
+  TaskRt* traw = &t;
+  auto after_local = [this, traw, tup, remote = std::move(remote),
+                      done = std::move(done), &w]() mutable {
+    if (remote.empty()) {
+      done();
+      return;
+    }
+    // Per-tuple communication tracking (Figs. 25/26) for the all-grouped
+    // stream's source instance.
+    const auto& sspec = topo_.streams[tup->stream];
+    const bool tracked =
+        sspec.grouping == dsps::Grouping::kAll &&
+        traw->id == primary_src_task_ &&
+        (tup->root_id % cfg_.tuple_sample_stride) == 0 && in_window() &&
+        comm_tracks_.size() < kMaxTrackedTuples;
+    if (tracked) {
+      comm_tracks_[tup->root_id] =
+          CommTrack{sim_.now(), sim_.now(), 0.0,
+                    static_cast<uint32_t>(remote.size()), true};
+    }
+    const uint64_t track_root = tracked ? tup->root_id : 0;
+
+    if (cfg_.variant.comm == CommMode::kInstance) {
+      // One serialization + one protocol pass per destination instance,
+      // sequentially on this executor — the paper's Fig. 2 bottleneck.
+      // Both the serialization and the multi-layer packet processing are
+      // charged to the upstream instance, matching Fig. 2d's breakdown.
+      auto idx = std::make_shared<size_t>(0);
+      auto rem = std::make_shared<std::vector<int>>(std::move(remote));
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [this, traw, tup, idx, rem, step, track_root,
+               done = std::move(done), &w]() mutable {
+        if (*idx >= rem->size()) {
+          done();
+          return;
+        }
+        const int d = (*rem)[(*idx)++];
+        auto payload = dsps::TupleSerde::encode_instance_message(d, *tup);
+        Bytes bytes = frame(MsgKind::kInstanceData, 0, payload);
+        const Duration ser = cfg_.cost.ser_time(bytes->size());
+        if (track_root) {
+          auto it = comm_tracks_.find(track_root);
+          if (it != comm_tracks_.end()) {
+            it->second.ser_ns += static_cast<double>(ser);
+          }
+        }
+        traw->cpu->execute(
+            ser, sim::CpuCategory::kSerialization,
+            [this, traw, bytes = std::move(bytes), d, step, track_root, &w] {
+              const auto [send_cost, send_cat] = source_send_cost(
+                  bytes->size());
+              traw->cpu->execute(
+                  send_cost, send_cat,
+                  [this, bytes = std::move(bytes), d, step, track_root, &w] {
+                    OutMsg m;
+                    m.bytes = std::move(bytes);
+                    m.dst_worker = tasks_[static_cast<size_t>(d)]->worker;
+                    m.enqueued = sim_.now();
+                    m.root_id = track_root;
+                    push_out(w, std::move(m), [step] { (*step)(); });
+                  });
+            });
+      };
+      (*step)();
+      return;
+    }
+
+    // Worker-oriented: serialize the body once, then one BatchTuple per
+    // destination worker carrying that worker's local task ids.
+    std::vector<std::vector<int32_t>> per_worker(workers_.size());
+    for (int d : remote) {
+      per_worker[static_cast<size_t>(tasks_[static_cast<size_t>(d)]->worker)]
+          .push_back(d);
+    }
+    struct Target {
+      int worker;
+      Bytes bytes;
+    };
+    auto targets = std::make_shared<std::vector<Target>>();
+    for (size_t wk = 0; wk < per_worker.size(); ++wk) {
+      if (per_worker[wk].empty()) continue;
+      auto payload =
+          dsps::TupleSerde::encode_batch_message(per_worker[wk], *tup);
+      targets->push_back(
+          Target{static_cast<int>(wk),
+                 frame(MsgKind::kBatchData, 0, payload)});
+    }
+    const Duration first_ser =
+        cfg_.cost.ser_time(dsps::TupleSerde::body_size(*tup));
+    if (track_root) {
+      auto it = comm_tracks_.find(track_root);
+      if (it != comm_tracks_.end()) {
+        it->second.ser_ns = static_cast<double>(first_ser);
+        it->second.outstanding = static_cast<uint32_t>(targets->size());
+      }
+    }
+    auto idx = std::make_shared<size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, traw, targets, idx, step, first_ser, track_root,
+             done = std::move(done), &w]() mutable {
+      if (*idx >= targets->size()) {
+        done();
+        return;
+      }
+      auto& tgt = (*targets)[(*idx)++];
+      // The data item is serialized once; subsequent workers only pay the
+      // BatchTuple header packaging cost.
+      const Duration d = (*idx == 1) ? first_ser : cfg_.woc_header_cost;
+      traw->cpu->execute(
+          d, sim::CpuCategory::kSerialization,
+          [this, traw, &tgt, step, track_root, &w] {
+            const auto [send_cost, send_cat] =
+                source_send_cost(tgt.bytes->size());
+            traw->cpu->execute(send_cost, send_cat,
+                               [this, &tgt, step, track_root, &w] {
+                                 OutMsg m;
+                                 m.bytes = tgt.bytes;
+                                 m.dst_worker = tgt.worker;
+                                 m.enqueued = sim_.now();
+                                 m.root_id = track_root;
+                                 push_out(w, std::move(m),
+                                          [step] { (*step)(); });
+                               });
+          });
+    };
+    (*step)();
+  };
+
+  if (local_count > 0) {
+    const Duration d = cfg_.cost.local_enqueue *
+                       static_cast<Duration>(local_count);
+    std::vector<int> locals;
+    for (int dd : dsts) {
+      if (tasks_[static_cast<size_t>(dd)]->worker == t.worker) {
+        locals.push_back(dd);
+      }
+    }
+    t.cpu->execute(d, sim::CpuCategory::kDispatch,
+                   [this, tup, locals = std::move(locals),
+                    after_local = std::move(after_local)]() mutable {
+                     for (int dd : locals) {
+                       deliver_local(*tasks_[static_cast<size_t>(dd)], tup);
+                     }
+                     after_local();
+                   });
+  } else {
+    after_local();
+  }
+}
+
+void Engine::send_mcast(TaskRt& t, McastGroup& g,
+                        std::shared_ptr<const dsps::Tuple> tup,
+                        std::function<void()> done) {
+  auto& w = *workers_[static_cast<size_t>(t.worker)];
+  const uint64_t root = tup->root_id;
+  const bool tracked = (root % cfg_.tuple_sample_stride) == 0;
+  if (cfg_.enable_acking) {
+    for (int d : op_tasks_[static_cast<size_t>(g.dst_op)]) {
+      anchor_edge(root, d);
+    }
+  }
+
+  // Serialize the data item once (shared by every hop of the tree).
+  ByteWriter bw(tup->approx_bytes() + 32);
+  dsps::TupleSerde::encode_body(*tup, bw);
+  const auto body = bw.take();
+  const Duration ser = cfg_.cost.ser_time(body.size());
+
+  if (tracked) {
+    mcast_track_start(root, tup->root_emit_time,
+                      static_cast<uint32_t>(g.total_dst_instances));
+  }
+  if (tracked && in_window() && comm_tracks_.size() < kMaxTrackedTuples) {
+    comm_tracks_[root] = CommTrack{sim_.now(), sim_.now(),
+                                   static_cast<double>(ser), 0, false};
+  }
+
+  // Feed the t_s / t_d monitors with the actual charged costs (the paper's
+  // statistics monitoring, Sec. 4): t_d covers scheduling plus the
+  // transport-specific per-channel cost.
+  g.ts_monitor.record(ser);
+  g.td_monitor.record(cfg_.mcast_schedule_per_child +
+                      source_send_cost(dsps::TupleSerde::body_size(*tup))
+                          .first);
+
+  TaskRt* traw = &t;
+  McastGroup* graw = &g;
+  t.cpu->execute(ser, sim::CpuCategory::kSerialization, [this, traw, graw,
+                                                         tup, root, tracked,
+                                                         body = std::move(
+                                                             body),
+                                                         done = std::move(
+                                                             done),
+                                                         &w]() mutable {
+    // Local dispatch to destination instances hosted with the source.
+    const auto& locals =
+        w.op_local_tasks[static_cast<size_t>(graw->dst_op)];
+    for (int d : locals) {
+      deliver_local(*tasks_[static_cast<size_t>(d)], tup);
+    }
+
+    // Relay to the source's direct cascading endpoints, one scheduling
+    // charge per child (the d0 * t_d term of the queue model).
+    const auto children = graw->tree.children(0);
+    auto idx = std::make_shared<size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    auto ct = comm_tracks_.find(root);
+    if (ct != comm_tracks_.end()) {
+      if (children.empty()) {
+        comm_tracks_.erase(ct);  // purely local delivery: no communication
+      } else {
+        ct->second.outstanding = static_cast<uint32_t>(children.size());
+      }
+    }
+    *step = [this, traw, graw, root, tracked, body, idx, step, children,
+             done = std::move(done), &w]() mutable {
+      if (*idx >= children.size()) {
+        done();
+        return;
+      }
+      const int child_ep = children[(*idx)++];
+      // Each cascading destination costs the source its scheduling time
+      // plus the transport's per-channel send cost — the d0 * t_d term
+      // that makes large out-degrees choke the source (Eq. 1).
+      const auto [send_cost, send_cat] = source_send_cost(body.size());
+      traw->cpu->execute(cfg_.mcast_schedule_per_child + send_cost, send_cat,
+          [this, graw, root, tracked, body, child_ep, step, &w] {
+            OutMsg m;
+            const int ep_field = graw->worker_level ? 0 : child_ep;
+            {
+              ByteWriter hw(8);
+              hw.put_u8(static_cast<uint8_t>(MsgKind::kMcastData));
+              hw.put_varint(graw->id);
+              hw.put_varint(static_cast<uint64_t>(ep_field));
+              auto v = hw.take();
+              v.insert(v.end(), body.begin(), body.end());
+              m.bytes = make_bytes(std::move(v));
+            }
+            const int ep = graw->endpoints[static_cast<size_t>(child_ep)];
+            m.dst_worker = graw->worker_level
+                               ? ep
+                               : tasks_[static_cast<size_t>(ep)]->worker;
+            m.enqueued = sim_.now();
+            m.root_id = tracked ? root : 0;
+            push_out(w, std::move(m), [step] { (*step)(); });
+          });
+    };
+    (*step)();
+  });
+}
+
+void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
+  WorkerRt* wr = &w;
+  auto m = std::make_shared<OutMsg>(std::move(msg));
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, wr, m, attempt, done = std::move(done)]() mutable {
+    if (wr->transfer_queue->try_push(*m)) {
+      pump_worker(*wr);
+      done();
+      return;
+    }
+    // Queue full: Storm-style backpressure — the producer stalls until the
+    // send loop frees a slot.
+    wr->transfer_queue->wait_for_space([attempt] { (*attempt)(); });
+  };
+  (*attempt)();
+}
+
+// ---------------------------------------------------------------------------
+// Worker send loop & transports
+// ---------------------------------------------------------------------------
+
+void Engine::pump_worker(WorkerRt& w) {
+  if (w.sending || w.paused || w.pump_waiting) return;
+  if (w.transfer_queue->empty()) return;
+
+  // Under the optimized RDMA transport, a blocked slicing buffer (ring
+  // full) must stall the send loop so backpressure reaches the executors.
+  if (cfg_.variant.transport == TransportMode::kRdmaOptimized &&
+      !w.transfer_queue->front().relay) {
+    const auto& front = w.transfer_queue->front();
+    auto& sl = slicer(w.id, front.dst_worker);
+    if (sl.blocked()) {
+      w.pump_waiting = true;
+      WorkerRt* wr = &w;
+      sl.on_unblock([this, wr] {
+        wr->pump_waiting = false;
+        pump_worker(*wr);
+      });
+      return;
+    }
+  }
+
+  // Claim the send slot BEFORE popping: try_pop releases a blocked
+  // producer synchronously, and that producer may re-enter pump_worker.
+  w.sending = true;
+  auto msg = w.transfer_queue->try_pop();
+  if (!msg) {
+    w.sending = false;
+    return;
+  }
+  transmit_out(w, std::move(*msg));
+}
+
+void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
+  WorkerRt* wr = &w;
+  auto resume = [this, wr] {
+    wr->sending = false;
+    pump_worker(*wr);
+  };
+  const uint64_t sz = msg.bytes->size();
+  rdma::Packet pkt{msg.bytes, msg.enqueued, msg.root_id};
+  const int dst_worker = msg.dst_worker;
+
+  switch (cfg_.variant.transport) {
+    case TransportMode::kTcp: {
+      // Protocol processing was charged to the producing executor
+      // (source_send_cost); the worker send thread only hands the message
+      // to the kernel/NIC. Receive-side protocol runs on the recv thread.
+      w.send_cpu->execute(
+          cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
+          [this, wr, dst_worker, sz, pkt = std::move(pkt), resume]() mutable {
+            auto& dw = *workers_[static_cast<size_t>(dst_worker)];
+            WorkerRt* draw = &dw;
+            const int src_worker = wr->id;
+            fabric_->transmit(
+                net::Transport::kTcp, wr->node, dw.node, sz,
+                [this, draw, sz, src_worker, pkt = std::move(pkt)]() mutable {
+                  draw->recv_cpu->execute(
+                      cfg_.cost.tcp_recv_time(sz), sim::CpuCategory::kProtocol,
+                      [this, draw, src_worker, pkt = std::move(pkt)]() mutable {
+                        handle_bytes(*draw, std::move(pkt), src_worker);
+                      });
+                });
+            resume();
+          });
+      break;
+    }
+    case TransportMode::kRdmaSendRecv: {
+      auto& qp = data_qp(w.id, dst_worker);
+      rdma::Bundle b;
+      b.push_back(std::move(pkt));
+      qp.transmit(std::move(b), resume);
+      break;
+    }
+    case TransportMode::kRdmaOptimized: {
+      if (msg.relay) {
+        // Relay forwarding: the bundle was already assembled upstream, so
+        // it goes straight into the channel ring; ring-full stalls the
+        // send loop until the consumer's READ releases space.
+        w.send_cpu->execute(
+            cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
+            [this, wr, dst_worker, pkt = std::move(pkt), resume]() mutable {
+              auto& qp = data_qp(wr->id, dst_worker);
+              auto b = std::make_shared<rdma::Bundle>();
+              b->push_back(std::move(pkt));
+              auto attempt = std::make_shared<std::function<void()>>();
+              *attempt = [&qp, b, attempt, resume]() {
+                if (qp.transmit(*b)) {
+                  resume();
+                } else {
+                  qp.wait_for_space([attempt] { (*attempt)(); });
+                }
+              };
+              (*attempt)();
+            });
+        break;
+      }
+      // Hand the packet to the per-channel slicing buffer; a negligible
+      // enqueue cost on the send thread, the RNIC does the rest.
+      w.send_cpu->execute(cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
+                          [this, wr, dst_worker, pkt = std::move(pkt),
+                           resume]() mutable {
+                            slicer(wr->id, dst_worker).add(std::move(pkt));
+                            resume();
+                          });
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
+  const Envelope env = peek(*pkt.bytes);
+  switch (env.kind) {
+    case MsgKind::kInstanceData:
+      if (pkt.id != 0 && src_worker == primary_src_worker_) {
+        comm_track_delivery(pkt.id);
+      }
+      dispatch_instance(w, std::move(pkt));
+      break;
+    case MsgKind::kBatchData:
+      if (pkt.id != 0 && src_worker == primary_src_worker_) {
+        comm_track_delivery(pkt.id);
+      }
+      dispatch_batch(w, std::move(pkt));
+      break;
+    case MsgKind::kMcastData: {
+      auto& g = *groups_[env.group];
+      if (pkt.id != 0 && src_worker == g.src_worker) {
+        comm_track_delivery(pkt.id);
+      }
+      dispatch_mcast(w, std::move(pkt), env);
+      break;
+    }
+    case MsgKind::kControl:
+      handle_control(w, std::move(pkt));
+      break;
+    case MsgKind::kAck:
+      handle_ack(env.group);
+      break;
+  }
+}
+
+void Engine::dispatch_instance(WorkerRt& w, rdma::Packet pkt) {
+  const uint64_t sz = pkt.size();
+  WorkerRt* wr = &w;
+  w.recv_cpu->execute(
+      cfg_.cost.deser_time(sz) + cfg_.cost.dispatch_per_tuple,
+      sim::CpuCategory::kSerialization, [this, wr, pkt = std::move(pkt)] {
+        const Envelope env = peek(*pkt.bytes);
+        auto m = dsps::TupleSerde::decode_instance_message(
+            payload_of(*pkt.bytes, env));
+        auto tup = std::make_shared<const dsps::Tuple>(std::move(m.tuple));
+        deliver_local(*tasks_[static_cast<size_t>(m.dst_task)],
+                      std::move(tup));
+        (void)wr;
+      });
+}
+
+void Engine::dispatch_batch(WorkerRt& w, rdma::Packet pkt) {
+  // Whale's dispatcher: deserialize the data item once, then hand an
+  // AddressedTuple to every local destination executor.
+  const uint64_t sz = pkt.size();
+  const Envelope env = peek(*pkt.bytes);
+  auto m =
+      dsps::TupleSerde::decode_batch_message(payload_of(*pkt.bytes, env));
+  const Duration cost =
+      cfg_.cost.deser_time(sz) +
+      cfg_.cost.dispatch_per_tuple * static_cast<Duration>(m.dst_tasks.size());
+  w.recv_cpu->execute(cost, sim::CpuCategory::kSerialization,
+                      [this, m = std::move(m)] {
+                        auto tup = std::make_shared<const dsps::Tuple>(
+                            std::move(m.tuple));
+                        for (int32_t d : m.dst_tasks) {
+                          deliver_local(*tasks_[static_cast<size_t>(d)], tup);
+                        }
+                      });
+}
+
+void Engine::dispatch_mcast(WorkerRt& w, rdma::Packet pkt,
+                            const Envelope& env) {
+  auto& g = *groups_[env.group];
+  const int my_endpoint = g.worker_level
+                              ? g.endpoint_index[static_cast<size_t>(w.id)]
+                              : static_cast<int>(env.endpoint);
+  if (my_endpoint < 0) return;  // stale delivery after a reconfiguration
+
+  // Relay first — raw bytes, no deserialization (zero-copy forwarding).
+  relay_mcast(w, g, my_endpoint, pkt);
+
+  // Then deliver locally.
+  const uint64_t sz = pkt.size();
+  const Envelope e = env;
+  WorkerRt* wr = &w;
+  McastGroup* graw = &g;
+  const int ep = my_endpoint;
+  w.recv_cpu->execute(
+      cfg_.cost.deser_time(sz), sim::CpuCategory::kSerialization,
+      [this, wr, graw, ep, pkt = std::move(pkt), e] {
+        ByteReader r(payload_of(*pkt.bytes, e));
+        auto tup = std::make_shared<const dsps::Tuple>(
+            dsps::TupleSerde::decode_body(r));
+        if (graw->worker_level) {
+          const auto& locals =
+              wr->op_local_tasks[static_cast<size_t>(graw->dst_op)];
+          const Duration d = cfg_.cost.dispatch_per_tuple *
+                             static_cast<Duration>(locals.size());
+          wr->recv_cpu->execute(d, sim::CpuCategory::kDispatch, [] {});
+          for (int t : locals) {
+            deliver_local(*tasks_[static_cast<size_t>(t)], tup);
+          }
+        } else {
+          const int task = graw->endpoints[static_cast<size_t>(ep)];
+          deliver_local(*tasks_[static_cast<size_t>(task)], std::move(tup));
+        }
+      });
+}
+
+void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
+                         const rdma::Packet& pkt) {
+  const auto& children = g.tree.children(my_endpoint);
+  if (children.empty()) return;
+  for (const int child_ep : children) {
+    OutMsg m;
+    if (g.worker_level) {
+      m.bytes = pkt.bytes;  // shared — relays never copy payloads
+    } else {
+      // Instance-level endpoints need their own envelope (endpoint field).
+      const Envelope env = peek(*pkt.bytes);
+      auto body = payload_of(*pkt.bytes, env);
+      ByteWriter hw(8);
+      hw.put_u8(static_cast<uint8_t>(MsgKind::kMcastData));
+      hw.put_varint(g.id);
+      hw.put_varint(static_cast<uint64_t>(child_ep));
+      auto v = hw.take();
+      v.insert(v.end(), body.begin(), body.end());
+      m.bytes = make_bytes(std::move(v));
+    }
+    const int ep = g.endpoints[static_cast<size_t>(child_ep)];
+    m.dst_worker =
+        g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
+    m.enqueued = sim_.now();
+    m.relay = true;
+    // Relays bypass the producer's comm-time tracking (root_id = 0) but a
+    // small forwarding charge lands on the relay's receive thread. The
+    // push waits for queue space instead of dropping: relayed traffic is
+    // backpressured just like locally produced traffic (the RDMA channel
+    // would block the same way).
+    w.recv_cpu->execute(cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
+                        [] {});
+    push_out(w, std::move(m), [] {});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast + communication-time tracking
+// ---------------------------------------------------------------------------
+
+void Engine::mcast_track_start(uint64_t root_id, Time emit, uint32_t total) {
+  if (mcast_tracks_.size() >= kMaxTrackedTuples) return;
+  mcast_tracks_[root_id] = McastTrack{emit, total};
+}
+
+void Engine::mcast_track_received(uint64_t root_id) {
+  auto it = mcast_tracks_.find(root_id);
+  if (it == mcast_tracks_.end()) return;
+  if (--it->second.remaining_recv == 0) {
+    // Every destination instance has received the tuple (Sec. 5.1's
+    // multicast-latency definition).
+    if (in_window()) {
+      report_.multicast_latency.add(sim_.now() - it->second.emit);
+    }
+    mcast_tracks_.erase(it);
+  }
+}
+
+void Engine::comm_track_delivery(uint64_t root_id) {
+  auto it = comm_tracks_.find(root_id);
+  if (it == comm_tracks_.end()) return;
+  auto& ct = it->second;
+  ct.last = sim_.now();
+  if (ct.outstanding > 0) --ct.outstanding;
+  if (ct.outstanding == 0) {
+    if (in_window()) {
+      const Duration comm = ct.last - ct.start;
+      report_.comm_time.add(comm);
+      // Streaming means for the serialization share.
+      const double ratio =
+          comm > 0 ? ct.ser_ns / static_cast<double>(comm) : 1.0;
+      const double n = static_cast<double>(report_.comm_time.count());
+      report_.ser_ratio += (ratio - report_.ser_ratio) / n;
+      report_.ser_time_avg_ns += (ct.ser_ns - report_.ser_time_avg_ns) / n;
+    }
+    comm_tracks_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-adjusting controller & dynamic switching
+// ---------------------------------------------------------------------------
+
+void Engine::controller_sample(McastGroup& g) {
+  if (!g.controller || g.switching) return;
+  auto& src = *tasks_[static_cast<size_t>(g.src_task)];
+  const double lambda = g.stream_monitor->rate_tps(sim_.now());
+  const Duration td = g.td_monitor.has_estimate()
+                          ? g.td_monitor.estimate()
+                          : cfg_.mcast_schedule_per_child;
+  const Duration ts =
+      (g.ts_monitor.has_estimate() ? g.ts_monitor.estimate() : us(5)) +
+      (g.app_monitor.has_estimate() ? g.app_monitor.estimate() : 0);
+  // Fold the once-per-tuple work (serialization + source logic) into an
+  // effective per-replica time at the current out-degree (worker-oriented
+  // mu = 1/(d*td + ts), Sec. 4).
+  const int d0 = g.controller->dstar();
+  const Duration te =
+      td + ts / static_cast<Duration>(std::max(1, d0));
+  const auto decision =
+      g.controller->on_sample(src.in_queue->size(), lambda, te);
+  if (decision.action !=
+      multicast::SelfAdjustingController::Action::kNone) {
+    begin_switch(g, decision);
+  }
+}
+
+void Engine::begin_switch(McastGroup& g,
+                          multicast::SelfAdjustingController::Decision d) {
+  using Action = multicast::SelfAdjustingController::Action;
+  g.pending_tree = g.tree;  // plan on a copy; swap in at completion
+  std::vector<multicast::Move> moves;
+  if (d.action == Action::kScaleDown) {
+    moves = g.pending_tree->plan_scale_down(d.new_dstar);
+  } else {
+    moves = g.pending_tree->plan_scale_up(d.new_dstar);
+  }
+  g.pending_dstar = d.new_dstar;
+
+  if (moves.empty()) {
+    g.tree = std::move(*g.pending_tree);
+    g.pending_tree.reset();
+    g.controller->confirm(d.new_dstar);
+    return;
+  }
+
+  g.switching = true;
+  g.switch_start = sim_.now();
+  g.acks_needed = moves.size();
+  g.acks_got = 0;
+
+  // Pause the source worker's data output (Thm. 4's v_out -> 0 window).
+  auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
+  sw.paused = true;
+
+  // StatusMessage to every endpoint announcing the switch...
+  for (size_t e = 1; e < g.endpoints.size(); ++e) {
+    const int ep = g.endpoints[e];
+    const int wk =
+        g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
+    send_control(g.src_worker, wk, g.id, MsgKind::kControl);
+  }
+  // ...then a ControlMessage per moved endpoint; the recipient establishes
+  // its new connection and ACKs.
+  for (const auto& mv : moves) {
+    const int ep = g.endpoints[static_cast<size_t>(mv.node)];
+    const int wk =
+        g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
+    // Reconfigure messages carry ctype = kReconfigure in the payload.
+    auto& w = *workers_[static_cast<size_t>(g.src_worker)];
+    ByteWriter hw(16);
+    hw.put_u8(static_cast<uint8_t>(MsgKind::kControl));
+    hw.put_varint(g.id);
+    hw.put_u8(kReconfigure);
+    auto v = hw.take();
+    v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
+    rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
+    if (cfg_.variant.rdma()) {
+      ctrl_qp(g.src_worker, wk).transmit(rdma::Bundle{std::move(pkt)});
+    } else {
+      auto& dw = *workers_[static_cast<size_t>(wk)];
+      WorkerRt* draw = &dw;
+      const int srcw = g.src_worker;
+      fabric_->transmit(net::Transport::kTcp, w.node, dw.node,
+                        pkt.bytes->size(),
+                        [this, draw, srcw, pkt = std::move(pkt)]() mutable {
+                          handle_bytes(*draw, std::move(pkt), srcw);
+                        });
+    }
+  }
+}
+
+void Engine::send_control(int src_worker, int dst_worker, uint32_t group,
+                          MsgKind kind) {
+  ByteWriter hw(16);
+  hw.put_u8(static_cast<uint8_t>(kind));
+  hw.put_varint(group);
+  hw.put_u8(kStatus);
+  auto v = hw.take();
+  v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
+  rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
+  if (src_worker == dst_worker) return;  // nothing to announce locally
+  if (cfg_.variant.rdma()) {
+    ctrl_qp(src_worker, dst_worker).transmit(rdma::Bundle{std::move(pkt)});
+  } else {
+    auto& w = *workers_[static_cast<size_t>(src_worker)];
+    auto& dw = *workers_[static_cast<size_t>(dst_worker)];
+    WorkerRt* draw = &dw;
+    fabric_->transmit(net::Transport::kTcp, w.node, dw.node,
+                      pkt.bytes->size(),
+                      [this, draw, src_worker, pkt = std::move(pkt)]() mutable {
+                        handle_bytes(*draw, std::move(pkt), src_worker);
+                      });
+  }
+}
+
+void Engine::handle_control(WorkerRt& w, rdma::Packet pkt) {
+  ByteReader r(*pkt.bytes);
+  r.get_u8();
+  const uint32_t group = static_cast<uint32_t>(r.get_varint());
+  const uint8_t ctype = r.get_u8();
+  if (ctype != kReconfigure) return;  // StatusMessage: informational only
+  auto& g = *groups_[group];
+  // The endpoint tears down the old connection and establishes the new one
+  // (QP creation + handshake), then ACKs to the source.
+  WorkerRt* wr = &w;
+  sim_.schedule_after(cfg_.switch_connection_setup, [this, wr, group] {
+    auto& gg = *groups_[group];
+    ByteWriter hw(8);
+    hw.put_u8(static_cast<uint8_t>(MsgKind::kAck));
+    hw.put_varint(group);
+    rdma::Packet ack{make_bytes(hw.take()), sim_.now(), 0};
+    if (cfg_.variant.rdma()) {
+      ctrl_qp(wr->id, gg.src_worker).transmit(rdma::Bundle{std::move(ack)});
+    } else {
+      auto& sw = *workers_[static_cast<size_t>(gg.src_worker)];
+      WorkerRt* sraw = &sw;
+      const int me = wr->id;
+      fabric_->transmit(net::Transport::kTcp, wr->node, sw.node,
+                        ack.bytes->size(),
+                        [this, sraw, me, ack = std::move(ack)]() mutable {
+                          handle_bytes(*sraw, std::move(ack), me);
+                        });
+    }
+  });
+  (void)g;
+}
+
+void Engine::handle_ack(uint32_t group) {
+  auto& g = *groups_[group];
+  if (!g.switching) return;
+  if (++g.acks_got >= g.acks_needed) finish_switch(g);
+}
+
+void Engine::finish_switch(McastGroup& g) {
+  g.tree = std::move(*g.pending_tree);
+  g.pending_tree.reset();
+  g.controller->confirm(g.pending_dstar);
+  g.switching = false;
+  const Duration took = sim_.now() - g.switch_start;
+  if (in_window() || sim_.now() >= window_start_) {
+    ++report_.switches_completed;
+    report_.switch_time_total += took;
+    report_.switch_time_max = std::max(report_.switch_time_max, took);
+  }
+  auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
+  sw.paused = false;
+  pump_worker(sw);
+}
+
+}  // namespace whale::core

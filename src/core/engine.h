@@ -1,0 +1,277 @@
+// The Whale engine: executes a dsps::Topology on the simulated cluster
+// under a SystemVariant, producing a RunReport.
+//
+// Runtime architecture (mirrors Storm's): one worker *process* per node;
+// each worker hosts the *executors* (one CPU server each) of the tasks
+// placed on it plus a send thread and a receive thread; executors feed a
+// bounded transfer queue (capacity Q) drained by the send thread into the
+// transport (kernel TCP, naive RDMA SEND/RECV, or Whale's sliced one-sided
+// READ channels). All-grouped streams can be disseminated through a
+// multicast structure (sequential / binomial / self-adjusting non-blocking
+// tree) whose relays forward raw bytes without re-serialization.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/message.h"
+#include "core/report.h"
+#include "core/slicing.h"
+#include "dsps/acker.h"
+#include "dsps/topology.h"
+#include "multicast/controller.h"
+#include "multicast/tree.h"
+#include "net/fabric.h"
+#include "rdma/verbs.h"
+#include "sim/cpu.h"
+#include "sim/queue.h"
+#include "sim/simulation.h"
+
+namespace whale::core {
+
+class Engine {
+ public:
+  Engine(EngineConfig cfg, dsps::Topology topo);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs the topology for warmup + measure simulated time; metrics are
+  // collected during the measure window only. Returns the report.
+  const RunReport& run(Duration warmup, Duration measure);
+
+  const RunReport& report() const { return report_; }
+  sim::Simulation& simulation() { return sim_; }
+  net::Fabric& fabric() { return *fabric_; }
+  const EngineConfig& config() const { return cfg_; }
+
+  // --- introspection (tests, monitors) ----------------------------------
+  int num_workers() const { return cfg_.cluster.num_nodes; }
+  size_t num_tasks() const { return tasks_.size(); }
+  int task_worker(int task) const {
+    return tasks_[static_cast<size_t>(task)]->worker;
+  }
+  size_t num_mcast_groups() const { return groups_.size(); }
+  const multicast::MulticastTree& group_tree(size_t g) const {
+    return groups_[g]->tree;
+  }
+  int group_dstar(size_t g) const;
+  uint64_t transfer_queue_len(int worker) const;
+
+ private:
+  // An outbound message waiting in a worker's transfer queue.
+  struct OutMsg {
+    Bytes bytes;
+    int dst_worker = 0;
+    Time enqueued = 0;
+    uint64_t root_id = 0;  // 0 = untracked
+    bool control = false;
+    // Relayed multicast traffic arrives already batched (the relay READ
+    // fetched a full bundle) and is forwarded immediately, bypassing the
+    // slicing buffer — re-batching per hop would add WTL per tree layer.
+    bool relay = false;
+  };
+
+  // A tuple instance delivered to an executor; the ack edge links it into
+  // the root's XOR ledger when acking is enabled (0 = untracked).
+  struct Delivery {
+    std::shared_ptr<const dsps::Tuple> tuple;
+    uint64_t ack_edge = 0;
+  };
+
+  struct TaskRt {
+    int id = 0, op = 0, instance = 0, worker = 0, node = 0;
+    std::unique_ptr<sim::CpuServer> cpu;
+    std::unique_ptr<sim::BoundedQueue<Delivery>> in_queue;
+    std::unique_ptr<dsps::Bolt> bolt;
+    std::unique_ptr<dsps::Spout> spout;
+    bool processing = false;
+    std::vector<uint64_t> shuffle_counters;  // per out stream
+    Duration busy_snapshot = 0;
+  };
+
+  struct WorkerRt {
+    int id = 0, node = 0;
+    std::unique_ptr<sim::CpuServer> send_cpu;
+    std::unique_ptr<sim::CpuServer> recv_cpu;
+    std::unique_ptr<sim::BoundedQueue<OutMsg>> transfer_queue;
+    bool sending = false;        // send loop holds one message in flight
+    bool paused = false;         // dynamic switching pauses the source
+    bool pump_waiting = false;   // subscribed to a blocked slicer
+    // Indexed by destination worker; created lazily.
+    std::vector<std::unique_ptr<rdma::QueuePair>> data_qps;
+    std::vector<std::unique_ptr<rdma::QueuePair>> ctrl_qps;
+    std::vector<std::unique_ptr<SlicingBuffer>> slicers;
+    // Local task ids per operator (dispatch targets).
+    std::vector<std::vector<int>> op_local_tasks;
+  };
+
+  // One all-grouped stream disseminated through a multicast structure.
+  struct McastGroup {
+    uint32_t id = 0;
+    int stream = 0;
+    int dst_op = 0;
+    int src_task = 0;
+    int src_worker = 0;
+    bool worker_level = true;  // endpoints are workers (WOC) or tasks (RDMC)
+    // endpoint index -> worker id (worker_level) or task id.
+    std::vector<int> endpoints;
+    // worker/task id -> endpoint index (-1 when not an endpoint).
+    std::vector<int> endpoint_index;
+    size_t total_dst_instances = 0;
+    multicast::MulticastTree tree;
+
+    // Self-adjusting machinery (non-blocking mode only).
+    std::unique_ptr<multicast::SelfAdjustingController> controller;
+    std::unique_ptr<multicast::StreamMonitor> stream_monitor;
+    multicast::ServiceTimeMonitor td_monitor;   // per-destination t_d
+    multicast::ServiceTimeMonitor ts_monitor;   // once-per-tuple serialization
+    multicast::ServiceTimeMonitor app_monitor;  // once-per-tuple source logic
+    // In-flight switch state.
+    bool switching = false;
+    Time switch_start = 0;
+    int pending_dstar = 0;
+    std::optional<multicast::MulticastTree> pending_tree;
+    size_t acks_needed = 0;
+    size_t acks_got = 0;
+  };
+
+  // Per-root-tuple multicast reception tracking (drives the multicast
+  // latency metric: time until EVERY destination instance has received
+  // the tuple). Throughput is tracked separately as aggregate processed
+  // tuples per instance, which stays meaningful under overload.
+  struct McastTrack {
+    Time emit = 0;
+    uint32_t remaining_recv = 0;
+  };
+  // Per-root-tuple source communication-time tracking (Figs. 25/26).
+  struct CommTrack {
+    Time start = 0;
+    Time last = 0;
+    double ser_ns = 0;
+    uint32_t outstanding = 0;
+    bool all_posted = false;
+  };
+
+  // --- construction ------------------------------------------------------
+  void build_runtime();
+  void build_mcast_groups();
+  rdma::QueuePair& data_qp(int src_worker, int dst_worker);
+  rdma::QueuePair& ctrl_qp(int src_worker, int dst_worker);
+  SlicingBuffer& slicer(int src_worker, int dst_worker);
+
+  // --- data path -----------------------------------------------------------
+  void schedule_arrival(int task);
+  void pump_task(TaskRt& t);
+  void process_tuple(TaskRt& t, Delivery d);
+  void route_emissions(TaskRt& t,
+                       std::vector<std::pair<size_t, dsps::Tuple>> emissions,
+                       std::function<void()> done);
+  // Sends one emission (mcast or point-to-point); calls `done` when the
+  // task's executor may move on (all messages accepted by the queue).
+  void send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
+                     std::function<void()> done);
+  void send_point_to_point(TaskRt& t, std::shared_ptr<const dsps::Tuple> tup,
+                           std::vector<int> dsts, std::function<void()> done);
+  void send_mcast(TaskRt& t, McastGroup& g,
+                  std::shared_ptr<const dsps::Tuple> tup,
+                  std::function<void()> done);
+  // Pushes to the worker's transfer queue, waiting for space when full.
+  void push_out(WorkerRt& w, OutMsg msg, std::function<void()> done);
+  // Per-message send-side cost charged to the SOURCE EXECUTOR (the paper
+  // attributes packet processing to the upstream instance, Fig. 2d).
+  std::pair<Duration, sim::CpuCategory> source_send_cost(
+      uint64_t bytes) const;
+  void deliver_local(TaskRt& dst, std::shared_ptr<const dsps::Tuple> tup);
+
+  // --- send/receive loops ---------------------------------------------------
+  void pump_worker(WorkerRt& w);
+  void transmit_out(WorkerRt& w, OutMsg msg);
+  void handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker);
+  void dispatch_instance(WorkerRt& w, rdma::Packet pkt);
+  void dispatch_batch(WorkerRt& w, rdma::Packet pkt);
+  void dispatch_mcast(WorkerRt& w, rdma::Packet pkt, const Envelope& env);
+  void relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
+                   const rdma::Packet& pkt);
+
+  // --- multicast bookkeeping -------------------------------------------------
+  void mcast_track_start(uint64_t root_id, Time emit, uint32_t total);
+  void mcast_track_received(uint64_t root_id);
+  void comm_track_delivery(uint64_t root_id);
+
+  // --- dynamic switching -----------------------------------------------------
+  void start_monitoring();
+  void controller_sample(McastGroup& g);
+  void begin_switch(McastGroup& g,
+                    multicast::SelfAdjustingController::Decision d);
+  void handle_control(WorkerRt& w, rdma::Packet pkt);
+  void handle_ack(uint32_t group);
+  void finish_switch(McastGroup& g);
+  void send_control(int src_worker, int dst_worker, uint32_t group,
+                    MsgKind kind);
+
+  // --- metrics ----------------------------------------------------------------
+  bool in_window() const {
+    return sim_.now() >= window_start_ && sim_.now() < window_end_;
+  }
+  void finalize_report(Duration measure);
+  void snapshot_at_window_start();
+
+  EngineConfig cfg_;
+  dsps::Topology topo_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Fabric> fabric_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<sim::CorePool>> core_pools_;  // per node
+  std::vector<std::unique_ptr<TaskRt>> tasks_;
+  std::vector<std::unique_ptr<WorkerRt>> workers_;
+  std::vector<std::vector<int>> op_tasks_;  // operator -> task ids
+  std::vector<std::unique_ptr<McastGroup>> groups_;
+  std::unordered_map<int, uint32_t> stream_to_group_;
+
+  std::unordered_map<uint64_t, McastTrack> mcast_tracks_;
+  std::unordered_map<uint64_t, CommTrack> comm_tracks_;
+  dsps::AckerLedger acker_;
+  uint64_t next_ack_edge_ = 1;
+  // Edges are anchored at EMISSION time (Storm semantics — otherwise the
+  // ledger would transiently zero while messages are on the wire) and
+  // handed out to deliveries as they arrive: root -> task -> FIFO of
+  // anchored-but-undelivered edge ids. Which delivery takes which edge is
+  // irrelevant to the XOR ledger; each edge is anchored and acked once.
+  std::unordered_map<uint64_t, std::unordered_map<int, std::vector<uint64_t>>>
+      pending_edges_;
+  void anchor_edge(uint64_t root, int task);
+  uint64_t take_edge(uint64_t root, int task);
+  // Per-stream processed counts and destination-instance counts for
+  // all-grouped streams (throughput normalization).
+  std::vector<uint64_t> mcast_processed_per_stream_;
+  std::vector<uint32_t> stream_dst_count_;
+
+  uint64_t next_root_id_ = 1;
+  int primary_src_task_ = -1;  // source of the first all-grouped stream
+  int primary_src_worker_ = -1;
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  bool running_ = false;
+
+  // Window-start snapshots.
+  uint64_t snap_bytes_tcp_ = 0;
+  uint64_t snap_bytes_rdma_ = 0;
+  uint64_t snap_src_node_bytes_ = 0;
+
+  // Queue sampling accumulators.
+  double queue_len_accum_ = 0.0;
+  uint64_t queue_samples_ = 0;
+
+  RunReport report_;
+};
+
+}  // namespace whale::core

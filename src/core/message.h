@@ -1,0 +1,77 @@
+// Wire envelope around the serde formats.
+//
+// Every inter-worker message starts with a one-byte kind plus (for
+// multicast kinds) the multicast-group id, so a relay worker can forward
+// the raw bytes along the tree without deserializing the payload —
+// the zero-copy relay of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dsps/serde.h"
+
+namespace whale::core {
+
+enum class MsgKind : uint8_t {
+  kInstanceData = 0,  // Fig. 9a: single destination task id + body
+  kBatchData = 1,     // Fig. 9b: id list + body (worker-oriented)
+  kMcastData = 2,     // multicast: group id + body; ids implicit (all
+                      // local instances of the group's destination op)
+  kControl = 3,       // dynamic-switching ControlMessage
+  kAck = 4,           // switching ACK
+};
+
+struct Envelope {
+  MsgKind kind;
+  uint32_t group = 0;      // kMcastData / kControl / kAck
+  uint32_t endpoint = 0;   // kMcastData: destination endpoint index
+                           // (instance-level trees; 0 under WOC)
+  size_t header_len = 0;   // bytes consumed by the envelope header
+};
+
+// Shared, immutable serialized message.
+using Bytes = std::shared_ptr<const std::vector<uint8_t>>;
+
+inline Bytes make_bytes(std::vector<uint8_t> v) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(v));
+}
+
+// Builds an envelope-framed message from a serde-encoded payload.
+inline Bytes frame(MsgKind kind, uint32_t group,
+                   std::span<const uint8_t> payload) {
+  ByteWriter w(payload.size() + 8);
+  w.put_u8(static_cast<uint8_t>(kind));
+  if (kind != MsgKind::kInstanceData && kind != MsgKind::kBatchData) {
+    w.put_varint(group);
+  }
+  auto v = w.take();
+  v.insert(v.end(), payload.begin(), payload.end());
+  return make_bytes(std::move(v));
+}
+
+// Reads just the envelope header (cheap; used by relays to route without
+// touching the payload).
+inline Envelope peek(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  Envelope e;
+  e.kind = static_cast<MsgKind>(r.get_u8());
+  if (e.kind != MsgKind::kInstanceData && e.kind != MsgKind::kBatchData) {
+    e.group = static_cast<uint32_t>(r.get_varint());
+  }
+  if (e.kind == MsgKind::kMcastData) {
+    e.endpoint = static_cast<uint32_t>(r.get_varint());
+  }
+  e.header_len = r.position();
+  return e;
+}
+
+inline std::span<const uint8_t> payload_of(std::span<const uint8_t> bytes,
+                                           const Envelope& e) {
+  return bytes.subspan(e.header_len);
+}
+
+}  // namespace whale::core

@@ -1,0 +1,96 @@
+// RunReport: everything a single engine run measures.
+//
+// One report per (variant, workload, parameters) point; the bench binaries
+// print the fields the corresponding paper figure plots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/cpu.h"
+
+namespace whale::core {
+
+struct RunReport {
+  std::string variant;
+  Duration warmup = 0;
+  Duration window = 0;
+
+  // --- volume ---------------------------------------------------------
+  uint64_t roots_emitted = 0;     // spout tuples during the window
+  uint64_t input_drops = 0;       // arrivals rejected (spout queue full)
+  uint64_t queue_rejects = 0;     // executor-queue overflow drops
+  uint64_t mcast_roots = 0;       // all-grouped roots fully delivered
+  uint64_t sink_completions = 0;  // tuples processed at sink operators
+
+  double offered_tps = 0.0;
+  double mcast_throughput_tps = 0.0;
+  double sink_throughput_tps = 0.0;
+
+  // --- latency ----------------------------------------------------------
+  LatencyHistogram processing_latency;  // root emit -> sink completion
+  LatencyHistogram multicast_latency;   // root emit -> last dst instance
+
+  // --- source-side communication (Figs. 25/26) ---------------------------
+  // Per all-grouped root tuple at the source worker: serialization start ->
+  // last outbound message delivered, and the serialization share of it.
+  LatencyHistogram comm_time;
+  double ser_time_avg_ns = 0.0;
+  double ser_ratio = 0.0;  // mean serialization fraction of comm time
+
+  // --- CPU (Figs. 2c/2d) --------------------------------------------------
+  double src_utilization = 0.0;             // source executor busy fraction
+  double downstream_utilization_avg = 0.0;  // mean over destination tasks
+  // Source executor busy seconds by category during the window.
+  std::array<double, static_cast<size_t>(sim::CpuCategory::kCount)>
+      src_cpu_seconds{};
+
+  // --- traffic (Figs. 27/28) ---------------------------------------------
+  uint64_t bytes_tcp = 0;        // cluster-wide wire bytes during window
+  uint64_t bytes_rdma = 0;
+  uint64_t src_node_bytes = 0;   // egress of the source's node
+
+  // --- transfer queue / model (Fig. 3) ------------------------------------
+  double transfer_queue_avg = 0.0;  // source worker, time-sampled
+  size_t transfer_queue_max = 0;
+  double load_factor = 0.0;  // source executor utilization rho
+
+  // --- acking (at-least-once tracking, optional) ---------------------------
+  uint64_t acked_roots = 0;   // roots whose whole tuple tree was processed
+  uint64_t failed_roots = 0;  // dropped or timed out
+  LatencyHistogram ack_latency;  // root emit -> tree fully processed
+
+  // --- self-adjusting (Figs. 23/24) ---------------------------------------
+  uint64_t scale_ups = 0;
+  uint64_t scale_downs = 0;
+  uint64_t switches_completed = 0;
+  Duration switch_time_total = 0;
+  Duration switch_time_max = 0;
+  int final_dstar = 0;
+
+  // --- over-time series (Figs. 23/24) --------------------------------------
+  TimeSeries tput_series{ms(20)};     // mcast completions per bin
+  TimeSeries lat_sum_series{ms(20)};  // sum of processing latency (ns)
+  TimeSeries lat_cnt_series{ms(20)};
+
+  // --- meta ----------------------------------------------------------------
+  uint64_t sim_events = 0;
+
+  double mcast_latency_ms_avg() const {
+    return multicast_latency.mean_ns() / 1e6;
+  }
+  double processing_latency_ms_avg() const {
+    return processing_latency.mean_ns() / 1e6;
+  }
+  double switch_time_avg_ms() const {
+    return switches_completed
+               ? to_millis(switch_time_total) /
+                     static_cast<double>(switches_completed)
+               : 0.0;
+  }
+};
+
+}  // namespace whale::core

@@ -1,0 +1,102 @@
+// Stream slicing (Sec. 4): per-channel transmit buffering.
+//
+// The sender accumulates serialized tuples per RDMA channel; when the
+// buffer reaches MMS (Max Memory Size) bytes it is assembled into one work
+// request and posted, and a WTL (Wait Time Limit) timer bounds how long the
+// earliest tuple may wait when traffic is light. The timer resets whenever
+// a work request is handed to the RNIC. Figs. 11/12 sweep MMS and WTL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/time.h"
+#include "rdma/verbs.h"
+#include "sim/simulation.h"
+
+namespace whale::core {
+
+class SlicingBuffer {
+ public:
+  // `flush` posts a bundle as one work request and consumes it on success;
+  // it returns false (leaving the bundle untouched) when the channel is
+  // backpressured (ring full), in which case `wait_for_space` must
+  // eventually invoke the supplied retry callback.
+  SlicingBuffer(sim::Simulation& sim, uint64_t mms, Duration wtl,
+                std::function<bool(rdma::Bundle&)> flush,
+                std::function<void(std::function<void()>)> wait_for_space)
+      : sim_(sim),
+        mms_(mms),
+        wtl_(wtl),
+        flush_(std::move(flush)),
+        wait_for_space_(std::move(wait_for_space)) {}
+
+  void add(rdma::Packet p) {
+    bytes_ += p.size();
+    if (buf_.empty()) arm_timer();
+    buf_.push_back(std::move(p));
+    if (bytes_ >= mms_) try_flush();
+  }
+
+  // True while the underlying channel rejected a flush and we are waiting
+  // for ring space; the send loop must stall instead of feeding more.
+  bool blocked() const { return blocked_; }
+  void on_unblock(std::function<void()> fn) {
+    unblock_waiters_.push_back(std::move(fn));
+  }
+
+  size_t buffered_tuples() const { return buf_.size(); }
+  uint64_t buffered_bytes() const { return bytes_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t timer_flushes() const { return timer_flushes_; }
+
+ private:
+  void arm_timer() {
+    const uint64_t gen = ++timer_gen_;
+    sim_.schedule_after(wtl_, [this, gen] {
+      if (gen != timer_gen_ || buf_.empty()) return;
+      ++timer_flushes_;
+      try_flush();
+    });
+  }
+
+  void try_flush() {
+    if (buf_.empty() || blocked_) return;
+    ++timer_gen_;  // a consumed work request resets the timer
+    if (flush_(buf_)) {
+      buf_.clear();
+      bytes_ = 0;
+      ++flushes_;
+      return;
+    }
+    // Ring full: the flush_ callee rejected without consuming; keep the
+    // buffer intact and retry when space is released.
+    blocked_ = true;
+    wait_for_space_([this] {
+      blocked_ = false;
+      try_flush();
+      if (!blocked_) {
+        auto waiters = std::move(unblock_waiters_);
+        unblock_waiters_.clear();
+        for (auto& fn : waiters) fn();
+      }
+    });
+  }
+
+  sim::Simulation& sim_;
+  uint64_t mms_;
+  Duration wtl_;
+  std::function<bool(rdma::Bundle&)> flush_;
+  std::function<void(std::function<void()>)> wait_for_space_;
+
+  rdma::Bundle buf_;
+  uint64_t bytes_ = 0;
+  bool blocked_ = false;
+  uint64_t timer_gen_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t timer_flushes_ = 0;
+  std::vector<std::function<void()>> unblock_waiters_;
+};
+
+}  // namespace whale::core

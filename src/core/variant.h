@@ -1,0 +1,92 @@
+// System variants: the ablation axes of the paper's evaluation (Sec. 5).
+//
+// Every system the paper compares is a point in a three-axis space:
+//   communication mode x transport x multicast structure.
+// The presets below are the named systems from the figures.
+#pragma once
+
+#include <string>
+
+namespace whale::core {
+
+// Instance-oriented (Storm: one message per destination instance) vs
+// worker-oriented (Whale: one BatchTuple per destination worker).
+enum class CommMode : uint8_t { kInstance = 0, kWorker = 1 };
+
+enum class TransportMode : uint8_t {
+  kTcp = 0,            // kernel TCP over 1 GbE
+  kRdmaSendRecv = 1,   // naive verbs replacement (RDMA-based Storm)
+  kRdmaOptimized = 2,  // Whale: one-sided READ + ring MR + stream slicing
+};
+
+// How one-to-many (all-grouping) streams are disseminated.
+enum class McastMode : uint8_t {
+  kSequential = 0,   // source sends to every destination itself
+  kBinomial = 1,     // RDMC: static binomial relay tree
+  kNonblocking = 2,  // Whale: d*-capped self-adjusting tree
+};
+
+struct SystemVariant {
+  CommMode comm = CommMode::kInstance;
+  TransportMode transport = TransportMode::kTcp;
+  McastMode mcast = McastMode::kSequential;
+
+  bool self_adjusting() const { return mcast == McastMode::kNonblocking; }
+  bool rdma() const { return transport != TransportMode::kTcp; }
+
+  std::string name() const;
+
+  // --- named systems from the paper -----------------------------------
+  static SystemVariant Storm() {
+    return {CommMode::kInstance, TransportMode::kTcp, McastMode::kSequential};
+  }
+  static SystemVariant RdmaStorm() {
+    return {CommMode::kInstance, TransportMode::kRdmaSendRecv,
+            McastMode::kSequential};
+  }
+  // RDMC: binomial relay tree over destination instances.
+  static SystemVariant Rdmc() {
+    return {CommMode::kInstance, TransportMode::kRdmaSendRecv,
+            McastMode::kBinomial};
+  }
+  // The paper's ablation stacks worker-oriented communication on top of
+  // RDMA-based Storm (naive SEND/RECV verbs), then adds the optimized
+  // primitives, then the non-blocking tree.
+  static SystemVariant WhaleWoc() {
+    return {CommMode::kWorker, TransportMode::kRdmaSendRecv,
+            McastMode::kSequential};
+  }
+  // Extra ablation point: worker-oriented communication over kernel TCP.
+  static SystemVariant WhaleWocTcp() {
+    return {CommMode::kWorker, TransportMode::kTcp, McastMode::kSequential};
+  }
+  static SystemVariant WhaleWocRdma() {
+    return {CommMode::kWorker, TransportMode::kRdmaOptimized,
+            McastMode::kSequential};
+  }
+  static SystemVariant WhaleWocRdmaBinomial() {
+    return {CommMode::kWorker, TransportMode::kRdmaOptimized,
+            McastMode::kBinomial};
+  }
+  // The full system: WOC + optimized RDMA + non-blocking multicast tree.
+  static SystemVariant Whale() {
+    return {CommMode::kWorker, TransportMode::kRdmaOptimized,
+            McastMode::kNonblocking};
+  }
+};
+
+inline std::string SystemVariant::name() const {
+  if (comm == CommMode::kInstance) {
+    if (transport == TransportMode::kTcp) return "Storm";
+    if (mcast == McastMode::kBinomial) return "RDMC";
+    return "RDMA-Storm";
+  }
+  std::string n = "Whale-WOC";
+  if (transport == TransportMode::kTcp) n += "-TCP";
+  if (transport == TransportMode::kRdmaOptimized) n += "-RDMA";
+  if (mcast == McastMode::kBinomial) n += "-Binomial";
+  if (mcast == McastMode::kNonblocking) n += "-Nonblock";
+  return n;
+}
+
+}  // namespace whale::core

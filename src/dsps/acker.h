@@ -1,0 +1,111 @@
+// Storm-style tuple-tree acking (the XOR ledger).
+//
+// Every root tuple owns a ledger entry. Each downstream tuple instance
+// created from the root is an *edge* with a unique 64-bit id: the edge id
+// is XOR-ed into the entry when the tuple is anchored (delivered towards a
+// consumer) and XOR-ed again when the consumer acks it after processing.
+// Because x ^ x = 0, the entry returns to its initial value exactly when
+// every edge has been both anchored and acked — regardless of ordering —
+// at which point the root is *fully processed* (Storm's at-least-once
+// completion signal, and the paper's processing-latency endpoint).
+//
+// The engine uses an "ideal acker" (no acker-bolt message traffic); the
+// ledger itself is faithful, including out-of-order ack tolerance and
+// timeout-based failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace whale::dsps {
+
+class AckerLedger {
+ public:
+  using CompletionFn = std::function<void(uint64_t root, Time emit_time)>;
+  using FailureFn = std::function<void(uint64_t root)>;
+
+  void set_on_complete(CompletionFn fn) { on_complete_ = std::move(fn); }
+  void set_on_fail(FailureFn fn) { on_fail_ = std::move(fn); }
+
+  // Starts tracking a root. The root is not completable until
+  // root_finished() marks the spout's emission as done (otherwise a root
+  // whose first edge acks before the second is anchored would complete
+  // prematurely).
+  void root_emitted(uint64_t root, Time emit_time) {
+    auto& e = entries_[root];
+    e.emit_time = emit_time;
+    e.open = true;
+  }
+
+  // All edges of the spout emission have been anchored.
+  void root_finished(uint64_t root) {
+    auto it = entries_.find(root);
+    if (it == entries_.end()) return;
+    it->second.open = false;
+    maybe_complete(it);
+  }
+
+  void anchored(uint64_t root, uint64_t edge) { update(root, edge); }
+  void acked(uint64_t root, uint64_t edge) { update(root, edge); }
+
+  // Explicit failure (dropped tuple): the root can never complete.
+  void fail(uint64_t root) {
+    auto it = entries_.find(root);
+    if (it == entries_.end()) return;
+    entries_.erase(it);
+    ++failed_;
+    if (on_fail_) on_fail_(root);
+  }
+
+  // Times out every entry emitted at or before `cutoff`; returns how many
+  // were failed (Storm's topology.message.timeout).
+  size_t expire_older_than(Time cutoff) {
+    std::vector<uint64_t> victims;
+    for (const auto& [root, e] : entries_) {
+      if (e.emit_time <= cutoff) victims.push_back(root);
+    }
+    for (uint64_t r : victims) fail(r);
+    return victims.size();
+  }
+
+  size_t pending() const { return entries_.size(); }
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+  bool tracking(uint64_t root) const { return entries_.count(root) > 0; }
+
+ private:
+  struct Entry {
+    uint64_t ledger = 0;
+    Time emit_time = 0;
+    bool open = true;  // spout emission still anchoring edges
+  };
+  using Map = std::unordered_map<uint64_t, Entry>;
+
+  void update(uint64_t root, uint64_t edge) {
+    auto it = entries_.find(root);
+    if (it == entries_.end()) return;  // already completed/failed
+    it->second.ledger ^= edge;
+    maybe_complete(it);
+  }
+
+  void maybe_complete(Map::iterator it) {
+    if (it->second.open || it->second.ledger != 0) return;
+    const uint64_t root = it->first;
+    const Time emit = it->second.emit_time;
+    entries_.erase(it);
+    ++completed_;
+    if (on_complete_) on_complete_(root, emit);
+  }
+
+  Map entries_;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  CompletionFn on_complete_;
+  FailureFn on_fail_;
+};
+
+}  // namespace whale::dsps

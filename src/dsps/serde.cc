@@ -1,0 +1,98 @@
+#include "dsps/serde.h"
+
+namespace whale::dsps {
+
+namespace {
+enum FieldTag : uint8_t { kInt = 0, kDouble = 1, kString = 2 };
+}  // namespace
+
+void TupleSerde::encode_body(const Tuple& t, ByteWriter& w) {
+  w.put_varint(t.stream);
+  w.put_u64(t.root_id);
+  w.put_i64(t.root_emit_time);
+  w.put_varint(t.values.size());
+  for (const auto& v : t.values) {
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      w.put_u8(kInt);
+      w.put_i64(*i);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      w.put_u8(kDouble);
+      w.put_f64(*d);
+    } else {
+      w.put_u8(kString);
+      w.put_string(std::get<std::string>(v));
+    }
+  }
+}
+
+Tuple TupleSerde::decode_body(ByteReader& r) {
+  Tuple t;
+  t.stream = static_cast<uint32_t>(r.get_varint());
+  t.root_id = r.get_u64();
+  t.root_emit_time = r.get_i64();
+  const size_t n = r.get_varint();
+  t.values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (r.get_u8()) {
+      case kInt:
+        t.values.emplace_back(r.get_i64());
+        break;
+      case kDouble:
+        t.values.emplace_back(r.get_f64());
+        break;
+      case kString:
+        t.values.emplace_back(r.get_string());
+        break;
+      default:
+        throw std::runtime_error("bad field tag");
+    }
+  }
+  return t;
+}
+
+std::vector<uint8_t> TupleSerde::encode_instance_message(int32_t dst_task,
+                                                         const Tuple& t) {
+  ByteWriter w(t.approx_bytes() + 32);
+  w.put_varint(static_cast<uint64_t>(dst_task));
+  encode_body(t, w);
+  return w.take();
+}
+
+TupleSerde::InstanceMessage TupleSerde::decode_instance_message(
+    std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  InstanceMessage m;
+  m.dst_task = static_cast<int32_t>(r.get_varint());
+  m.tuple = decode_body(r);
+  return m;
+}
+
+std::vector<uint8_t> TupleSerde::encode_batch_message(
+    const std::vector<int32_t>& dst_tasks, const Tuple& t) {
+  ByteWriter w(t.approx_bytes() + 32 + dst_tasks.size() * 2);
+  w.put_varint(dst_tasks.size());
+  for (int32_t id : dst_tasks) w.put_varint(static_cast<uint64_t>(id));
+  encode_body(t, w);
+  return w.take();
+}
+
+TupleSerde::BatchMessage TupleSerde::decode_batch_message(
+    std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  BatchMessage m;
+  const size_t n = r.get_varint();
+  m.dst_tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.dst_tasks.push_back(static_cast<int32_t>(r.get_varint()));
+  }
+  m.tuple = decode_body(r);
+  return m;
+}
+
+size_t TupleSerde::body_size(const Tuple& t) {
+  ByteWriter w(t.approx_bytes() + 32);
+  encode_body(t, w);
+  return w.size();
+}
+
+}  // namespace whale::dsps

@@ -1,0 +1,54 @@
+// Tuple and message wire formats (paper Fig. 9).
+//
+// Storm's instance-oriented format carries ONE destination task id per
+// message; Whale's BatchTuple carries the id list of every destination
+// instance hosted on the target worker, so the data item is serialized and
+// transmitted once per worker. Both formats are really encoded here —
+// traffic numbers in the benches are byte counts of these encodings.
+//
+//   TupleMessage   := header(dst_id) body
+//   BatchMessage   := header(dst_id_count, dst_ids...) body
+//   body           := stream, root_id, root_emit_time, field_count, fields...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dsps/tuple.h"
+
+namespace whale::dsps {
+
+class TupleSerde {
+ public:
+  // Body only (shared between both message formats).
+  static void encode_body(const Tuple& t, ByteWriter& w);
+  static Tuple decode_body(ByteReader& r);
+
+  // Instance-oriented (Storm, Fig. 9a): one destination task id.
+  static std::vector<uint8_t> encode_instance_message(int32_t dst_task,
+                                                      const Tuple& t);
+  struct InstanceMessage {
+    int32_t dst_task;
+    Tuple tuple;
+  };
+  static InstanceMessage decode_instance_message(
+      std::span<const uint8_t> bytes);
+
+  // Worker-oriented BatchTuple (Whale, Fig. 9b): all destination ids on the
+  // target worker share one serialized data item.
+  static std::vector<uint8_t> encode_batch_message(
+      const std::vector<int32_t>& dst_tasks, const Tuple& t);
+  struct BatchMessage {
+    std::vector<int32_t> dst_tasks;
+    Tuple tuple;
+  };
+  static BatchMessage decode_batch_message(std::span<const uint8_t> bytes);
+
+  // Serialized body size without building a message (used by cost charging
+  // on paths that reuse an already-encoded body).
+  static size_t body_size(const Tuple& t);
+};
+
+}  // namespace whale::dsps

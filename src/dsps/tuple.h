@@ -1,0 +1,52 @@
+// The tuple: the unit of data flowing through a topology.
+//
+// Matches Storm's model: a tuple is a list of dynamically typed values
+// produced on a named stream by a task. Metadata carries the identity of
+// the *root* tuple (the spout emission it descends from) so the engine can
+// measure end-to-end processing latency and multicast completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+
+namespace whale::dsps {
+
+using Value = std::variant<int64_t, double, std::string>;
+
+struct Tuple {
+  std::vector<Value> values;
+
+  // --- metadata (serialized in the header) ---
+  uint32_t stream = 0;      // index of the StreamSpec this tuple rides on
+  uint64_t root_id = 0;     // id of the spout tuple this one descends from
+  Time root_emit_time = 0;  // simulated time the root left the spout
+
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> v) : values(std::move(v)) {}
+
+  int64_t as_int(size_t i) const { return std::get<int64_t>(values[i]); }
+  double as_double(size_t i) const { return std::get<double>(values[i]); }
+  const std::string& as_string(size_t i) const {
+    return std::get<std::string>(values[i]);
+  }
+
+  // Approximate in-memory payload size; the authoritative size is the
+  // serialized form (serde.h), this is only for pre-sizing buffers.
+  size_t approx_bytes() const {
+    size_t n = 0;
+    for (const auto& v : values) {
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        n += s->size() + 1;
+      } else {
+        n += 9;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace whale::dsps

@@ -1,0 +1,42 @@
+#include "multicast/capability.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace whale::multicast {
+
+std::vector<uint64_t> multicast_capability(int dstar, int t_max) {
+  assert(dstar >= 1);
+  assert(t_max >= 0);
+  std::vector<uint64_t> L(static_cast<size_t>(t_max) + 1, 0);
+  L[0] = 1;
+  for (int t = 1; t <= t_max; ++t) {
+    if (t <= dstar) {
+      L[static_cast<size_t>(t)] = 2 * L[static_cast<size_t>(t - 1)];
+    } else {
+      L[static_cast<size_t>(t)] = 2 * L[static_cast<size_t>(t - 1)] -
+                                  L[static_cast<size_t>(t - dstar - 1)];
+    }
+  }
+  return L;
+}
+
+int time_units_to_cover(int dstar, uint64_t n) {
+  if (n == 0) return 0;
+  std::vector<uint64_t> L{1};
+  int t = 0;
+  while (L.back() < n + 1) {
+    ++t;
+    uint64_t next;
+    if (t <= dstar) {
+      next = 2 * L[static_cast<size_t>(t - 1)];
+    } else {
+      next = 2 * L[static_cast<size_t>(t - 1)] -
+             L[static_cast<size_t>(t - dstar - 1)];
+    }
+    L.push_back(next);
+  }
+  return t;
+}
+
+}  // namespace whale::multicast

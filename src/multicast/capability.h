@@ -1,0 +1,30 @@
+// Multicast capability L(t) (Definition 2 / Theorem 2, Eqs. 6-7).
+//
+// L(t) is the cumulative number of tree nodes (source included) that hold
+// the tuple after the t-th relay time unit. In an unconstrained binomial
+// tree every covered node relays to one new node per unit, so coverage
+// doubles: L(t) = 2 L(t-1), L(0) = 1. When the out-degree is capped at d*,
+// nodes stop relaying d* units after they were covered, which subtracts the
+// cohort that saturated:
+//     L(t) = 2 L(t-1)                  for t <= d*
+//     L(t) = 2 L(t-1) - L(t-d*-1)      for t >  d*
+//
+// Check against the paper's Fig. 6 (d* = 2): L = 1, 2, 4, 7, 12 — i.e.
+// 1, 2, 3, 5 newly covered instances in units 1..4, exactly the example's
+// schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace whale::multicast {
+
+// L(0..t_max) for out-degree cap `dstar` (use a large dstar for binomial).
+std::vector<uint64_t> multicast_capability(int dstar, int t_max);
+
+// Number of relay time units a tree with cap `dstar` needs to cover n
+// destinations plus the source, i.e. the smallest t with L(t) >= n+1.
+// This is the depth-cost of the pipelined relay schedule.
+int time_units_to_cover(int dstar, uint64_t n);
+
+}  // namespace whale::multicast

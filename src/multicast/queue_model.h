@@ -1,0 +1,108 @@
+// M/D/1 queue model of the source instance's transfer queue (Sec. 3.2.1).
+//
+// The source with out-degree d0 serves each incoming tuple by generating d0
+// replicas, each costing t_e, so the service rate is mu = 1/(d0*t_e)
+// (Eq. 1). Requiring the average M/D/1 queue length E(L) (Eq. 2) to stay
+// within the queue capacity Q bounds the out-degree.
+//
+// NOTE on the paper's Eq. (3): solving E(L) <= Q for the utilization
+// rho = lambda*d0*t_e gives rho <= Q+1-sqrt(Q^2+1) (the smaller root of
+// rho^2 - 2rho(1+Q) + 2Q >= 0). The paper's printed Eq. (3) uses
+// 2Q/(Q+1-sqrt(Q^2+1)) = Q+1+sqrt(Q^2+1), i.e. the spurious larger root,
+// which contradicts its own Eqs. (4)-(5) and Theorem 1. We implement the
+// form consistent with Eqs. (4)-(5):
+//     d* = floor( (Q+1-sqrt(Q^2+1)) / (lambda*t_e) ).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/time.h"
+
+namespace whale::multicast {
+
+struct MD1 {
+  // Eq. (1): service rate (tuples/s) of a source with out-degree d0 and
+  // per-replica processing time te.
+  static double processing_rate(int d0, Duration te) {
+    return 1.0 / (static_cast<double>(d0) * to_seconds(te));
+  }
+
+  // Worker-oriented correction (Sec. 4): serialization happens once (ts),
+  // scheduling/post happens per destination (td):  mu = 1/(d*td + ts).
+  static double processing_rate_woc(int d, Duration td, Duration ts) {
+    return 1.0 /
+           (static_cast<double>(d) * to_seconds(td) + to_seconds(ts));
+  }
+
+  // Eq. (2): average M/D/1 queue length. Requires mu > lambda; returns
+  // +inf for an unstable queue.
+  static double avg_queue_length(double lambda, double mu) {
+    if (mu <= lambda) return std::numeric_limits<double>::infinity();
+    return lambda * lambda / (2.0 * mu * (mu - lambda)) + lambda / mu;
+  }
+
+  // Utilization bound from E(L) <= Q: rho <= Q+1-sqrt(Q^2+1)  (in (0,1)).
+  static double max_utilization(double q_capacity) {
+    return q_capacity + 1.0 - std::sqrt(q_capacity * q_capacity + 1.0);
+  }
+
+  // Eq. (3) (corrected; see header comment): the largest out-degree that
+  // keeps E(L) <= Q at input rate lambda. Never below 1.
+  static int max_out_degree(double lambda, Duration te, double q_capacity) {
+    if (lambda <= 0.0) return std::numeric_limits<int>::max();
+    const double bound =
+        max_utilization(q_capacity) / (lambda * to_seconds(te));
+    if (bound >= static_cast<double>(std::numeric_limits<int>::max())) {
+      return std::numeric_limits<int>::max();
+    }
+    return std::max(1, static_cast<int>(std::floor(bound)));
+  }
+
+  // Eq. (5) / Theorem 1: maximum affordable input rate for out-degree d0.
+  static double max_affordable_rate(int d0, Duration te, double q_capacity) {
+    return max_utilization(q_capacity) /
+           (static_cast<double>(d0) * to_seconds(te));
+  }
+
+  static bool stable(double lambda, double mu) { return mu > lambda; }
+
+  // Source out-degree of a binomial tree over n destinations (RDMC):
+  // ceil(log2(n+1)).
+  static int binomial_out_degree(int n) {
+    int d = 0;
+    // smallest d with 2^d >= n+1
+    while ((1LL << d) < static_cast<long long>(n) + 1) ++d;
+    return d;
+  }
+};
+
+// Theorem 4: dynamic switching for negative scale-down loses no stream
+// input iff T_switch < (Q - q(t*)) / v_in(t*) — while the source's output
+// is paused, the queue absorbs arrivals until its remaining capacity runs
+// out. Returns that maximum loss-free switching delay.
+inline Duration max_loss_free_switch_delay(double q_capacity,
+                                           double queue_len_at_trigger,
+                                           double input_rate_tps) {
+  if (input_rate_tps <= 0.0) return std::numeric_limits<Duration>::max();
+  const double headroom = q_capacity - queue_len_at_trigger;
+  if (headroom <= 0.0) return 0;
+  return from_seconds(headroom / input_rate_tps);
+}
+
+// Theorem 5: dynamic switching for active scale-up pays off once the
+// number of multicast tuples X exceeds gamma*gamma' * T_switch /
+// (gamma - gamma'), where gamma' and gamma are the multicast rates before
+// and after the switch. Returns that break-even tuple count
+// (+inf when the switch does not increase the rate).
+inline double switch_breakeven_tuples(double rate_before_tps,
+                                      double rate_after_tps,
+                                      Duration t_switch) {
+  if (rate_after_tps <= rate_before_tps) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rate_after_tps * rate_before_tps * to_seconds(t_switch) /
+         (rate_after_tps - rate_before_tps);
+}
+
+}  // namespace whale::multicast

@@ -1,0 +1,40 @@
+// Physical cluster description.
+//
+// Mirrors the paper's testbed: 30 nodes, 16 cores each, one worker process
+// per node, dual-homed on 1 Gbps Ethernet and 56 Gbps InfiniBand FDR, and
+// optionally partitioned into racks (Figs. 33/34 vary 1..5 racks).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace whale::net {
+
+struct ClusterSpec {
+  int num_nodes = 30;
+  int cores_per_node = 16;
+  int num_racks = 1;
+
+  // Link speeds (bits per second).
+  double eth_bandwidth_bps = 1e9;     // 1 GbE
+  double ib_bandwidth_bps = 56e9;     // InfiniBand FDR
+
+  // One-way propagation + switching latency.
+  Duration eth_prop_intra_rack = us(40);
+  Duration eth_prop_inter_rack = us(70);
+  Duration ib_prop_intra_rack = us(2);
+  Duration ib_prop_inter_rack = us(4);
+
+  int rack_of(int node) const {
+    assert(node >= 0 && node < num_nodes);
+    // Nodes are striped across racks in contiguous blocks.
+    const int per_rack = (num_nodes + num_racks - 1) / num_racks;
+    return node / per_rack;
+  }
+
+  bool same_rack(int a, int b) const { return rack_of(a) == rack_of(b); }
+};
+
+}  // namespace whale::net

@@ -1,0 +1,59 @@
+#include "net/fabric.h"
+
+#include <cassert>
+#include <string>
+
+namespace whale::net {
+
+Fabric::Fabric(sim::Simulation& sim, ClusterSpec spec)
+    : sim_(sim), spec_(spec) {
+  for (int t = 0; t < 2; ++t) {
+    const bool tcp = (t == static_cast<int>(Transport::kTcp));
+    const double bw = tcp ? spec_.eth_bandwidth_bps : spec_.ib_bandwidth_bps;
+    txs_[t].reserve(static_cast<size_t>(spec_.num_nodes));
+    bytes_sent_[t].assign(static_cast<size_t>(spec_.num_nodes), 0);
+    for (int n = 0; n < spec_.num_nodes; ++n) {
+      txs_[t].push_back(std::make_unique<sim::ThroughputResource>(
+          sim_, std::string(tcp ? "eth" : "ib") + "_tx" + std::to_string(n),
+          bw));
+    }
+  }
+}
+
+Duration Fabric::propagation(Transport t, int src, int dst) const {
+  const bool intra = spec_.same_rack(src, dst);
+  if (t == Transport::kTcp) {
+    return intra ? spec_.eth_prop_intra_rack : spec_.eth_prop_inter_rack;
+  }
+  return intra ? spec_.ib_prop_intra_rack : spec_.ib_prop_inter_rack;
+}
+
+void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
+                      std::function<void()> delivered, Duration engine_fixed) {
+  assert(src >= 0 && src < spec_.num_nodes);
+  assert(dst >= 0 && dst < spec_.num_nodes);
+  if (src == dst) {
+    // Loopback: no NIC involvement; deliver on the next event tick.
+    sim_.schedule_after(0, std::move(delivered));
+    return;
+  }
+  const uint64_t wire = cost_.wire_bytes(t, payload_bytes);
+  bytes_sent_[static_cast<size_t>(t)][static_cast<size_t>(src)] += wire;
+  ++messages_sent_[static_cast<size_t>(t)];
+  const Duration prop = propagation(t, src, dst);
+  auto& nic = tx(t, src);
+  nic.transfer(
+      wire,
+      [this, prop, delivered = std::move(delivered)]() mutable {
+        sim_.schedule_after(prop, std::move(delivered));
+      },
+      engine_fixed);
+}
+
+uint64_t Fabric::total_bytes_sent(Transport t) const {
+  uint64_t sum = 0;
+  for (uint64_t b : bytes_sent_[static_cast<size_t>(t)]) sum += b;
+  return sum;
+}
+
+}  // namespace whale::net

@@ -1,0 +1,60 @@
+// The cluster fabric: per-node NIC egress resources plus rack-aware
+// propagation. Raw byte mover — the TCP CPU costs and the RDMA verbs
+// semantics are layered on top (dsps transport / rdma module).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "net/cluster.h"
+#include "net/cost_model.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace whale::net {
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  sim::Simulation& simulation() { return sim_; }
+  int num_nodes() const { return spec_.num_nodes; }
+
+  // Moves `payload_bytes` (+ framing overhead) from `src` to `dst` over the
+  // given transport. `delivered` fires at the destination once the message
+  // has fully arrived. src == dst short-circuits (no NIC, no propagation).
+  // `engine_fixed` occupies the egress engine per message in addition to
+  // the wire time (RNIC per-work-request processing).
+  void transmit(Transport t, int src, int dst, uint64_t payload_bytes,
+                std::function<void()> delivered, Duration engine_fixed = 0);
+
+  // Egress byte counters per node/transport (traffic figures 27/28).
+  uint64_t bytes_sent(Transport t, int node) const {
+    return bytes_sent_[static_cast<size_t>(t)][static_cast<size_t>(node)];
+  }
+  uint64_t total_bytes_sent(Transport t) const;
+  uint64_t messages_sent(Transport t) const {
+    return messages_sent_[static_cast<size_t>(t)];
+  }
+
+  sim::ThroughputResource& tx(Transport t, int node) {
+    return *txs_[static_cast<size_t>(t)][static_cast<size_t>(node)];
+  }
+
+  Duration propagation(Transport t, int src, int dst) const;
+
+ private:
+  sim::Simulation& sim_;
+  ClusterSpec spec_;
+  CostModel cost_;
+  // [transport][node]
+  std::vector<std::unique_ptr<sim::ThroughputResource>> txs_[2];
+  std::vector<uint64_t> bytes_sent_[2];
+  uint64_t messages_sent_[2] = {0, 0};
+};
+
+}  // namespace whale::net

@@ -1,0 +1,108 @@
+#include "rdma/channel.h"
+
+#include <cassert>
+#include <iterator>
+#include <limits>
+
+namespace whale::rdma {
+
+Channel::Channel(net::Fabric& fabric, const net::CostModel& cost,
+                 ChannelConfig config, QpEndpoint local, QpEndpoint remote)
+    : sim_(fabric.simulation()), config_(config) {
+  QpConfig qc = config_.qp;
+  qc.verb = config_.verb;
+  qp_ = std::make_unique<QueuePair>(fabric, cost, qc, local, remote);
+  qp_->set_recv_handler([this](Packet p) {
+    ++delivered_;
+    if (receiver_) receiver_(std::move(p));
+  });
+}
+
+Channel::~Channel() = default;
+
+void Channel::set_receiver(std::function<void(Packet)> fn) {
+  receiver_ = std::move(fn);
+}
+
+void Channel::send(Packet p) {
+  ++sent_;
+  const uint64_t sz = p.size();
+  buf_bytes_ += sz;
+  buffered_bytes_ += sz;
+  if (buf_.empty()) arm_timer();
+  buf_.push_back(std::move(p));
+  if (buffered_bytes_ >= config_.high_watermark && !above_watermark_) {
+    above_watermark_ = true;
+    if (on_watermark_) on_watermark_();
+  }
+  if (config_.mms_bytes == 0 || buf_bytes_ >= config_.mms_bytes) try_flush();
+}
+
+void Channel::arm_timer() {
+  if (config_.wtl <= 0) return;
+  const uint64_t gen = ++timer_gen_;
+  sim_.schedule_after(config_.wtl, [this, gen] {
+    if (gen != timer_gen_ || buf_.empty()) return;
+    try_flush();
+  });
+}
+
+void Channel::try_flush() {
+  while (!buf_.empty() && !blocked_) {
+    ++timer_gen_;  // consumed work request resets the WTL timer
+    // A work request can never exceed the ring capacity (READ discipline),
+    // so slice the accumulated buffer into ring-sized chunks; each chunk
+    // is one work request. A single over-sized packet is a config error.
+    const RingMemoryRegion* ring = qp_->ring();
+    const uint64_t max_chunk =
+        ring ? ring->capacity() : std::numeric_limits<uint64_t>::max();
+    Bundle chunk;
+    uint64_t chunk_bytes = 0;
+    while (!buf_.empty()) {
+      const uint64_t sz = buf_.front().size();
+      assert(sz <= max_chunk && "packet larger than the ring region");
+      if (!chunk.empty() && chunk_bytes + sz > max_chunk) break;
+      chunk_bytes += sz;
+      chunk.push_back(std::move(buf_.front()));
+      buf_.erase(buf_.begin());
+    }
+    if (qp_->transmit(chunk)) {
+      buf_bytes_ -= chunk_bytes;
+      buffered_bytes_ -= chunk_bytes;
+      ++flushes_;
+      if (above_watermark_ && buffered_bytes_ < config_.high_watermark) {
+        above_watermark_ = false;
+      }
+      continue;
+    }
+    // Ring full: put the chunk back in front and retry when the consumer's
+    // fetch loop releases space.
+    buf_.insert(buf_.begin(), std::make_move_iterator(chunk.begin()),
+                std::make_move_iterator(chunk.end()));
+    blocked_ = true;
+    qp_->wait_for_space([this] {
+      blocked_ = false;
+      try_flush();
+    });
+  }
+}
+
+Channel& ChannelManager::get(int src, int dst, Verb verb) {
+  const auto key = std::make_tuple(src, dst, verb);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    ChannelConfig cfg = defaults_;
+    cfg.verb = verb;
+    sim::CpuServer* lcpu = resolver_(src);
+    sim::CpuServer* rcpu = resolver_(dst);
+    assert(lcpu && rcpu);
+    it = channels_
+             .emplace(key, std::make_unique<Channel>(
+                               fabric_, cost_, cfg, QpEndpoint{src, lcpu},
+                               QpEndpoint{dst, rcpu}))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace whale::rdma

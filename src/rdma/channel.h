@@ -1,0 +1,123 @@
+// General channel-oriented communication framework.
+//
+// The paper ships a standalone artifact ("WhaleRDMAChannel") besides the
+// Storm integration: a reusable, channel-oriented RDMA messaging layer.
+// This is its counterpart: a reliable, ordered, unidirectional message
+// channel between two endpoints with
+//   - selectable verb discipline (SEND/RECV, WRITE, or READ+ring),
+//   - integrated stream slicing (MMS buffer + WTL timer),
+//   - unbounded-send convenience: sends never fail, backpressure is
+//     absorbed into the channel's internal buffer and surfaced through
+//     buffered_bytes() / a high-watermark callback,
+// plus a ChannelManager that pools channels per (src, dst, discipline).
+//
+// The Whale engine wires its own transfer-queue-integrated path for exact
+// backpressure control; this framework is the general-purpose API for
+// applications that just want channels (see tests/test_channel.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "common/time.h"
+#include "net/cost_model.h"
+#include "net/fabric.h"
+#include "rdma/verbs.h"
+#include "sim/cpu.h"
+#include "sim/simulation.h"
+
+namespace whale::rdma {
+
+struct ChannelConfig {
+  Verb verb = Verb::kRead;
+  QpConfig qp;
+  // Stream slicing; mms_bytes = 0 disables batching (flush per message).
+  uint64_t mms_bytes = 256 * 1024;
+  Duration wtl = ms(1);
+  // High-watermark for the internal pending buffer (bytes); crossing it
+  // fires the watermark callback so producers can throttle.
+  uint64_t high_watermark = 8 * 1024 * 1024;
+};
+
+class Channel {
+ public:
+  Channel(net::Fabric& fabric, const net::CostModel& cost,
+          ChannelConfig config, QpEndpoint local, QpEndpoint remote);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Never fails: the packet is buffered, sliced, and transmitted in order.
+  void send(Packet p);
+
+  // Delivery callback at the remote endpoint, in send order.
+  void set_receiver(std::function<void(Packet)> fn);
+
+  // Fired once each time buffered_bytes crosses the high watermark upward.
+  void set_watermark_callback(std::function<void()> fn) {
+    on_watermark_ = std::move(fn);
+  }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t buffered_bytes() const { return buffered_bytes_; }
+  uint64_t flushes() const { return flushes_; }
+  Verb verb() const { return config_.verb; }
+  const QueuePair& qp() const { return *qp_; }
+
+ private:
+  void arm_timer();
+  void try_flush();
+
+  sim::Simulation& sim_;
+  ChannelConfig config_;
+  std::unique_ptr<QueuePair> qp_;
+
+  Bundle buf_;
+  uint64_t buf_bytes_ = 0;
+  uint64_t buffered_bytes_ = 0;  // buf_ + anything waiting on ring space
+  bool blocked_ = false;
+  uint64_t timer_gen_ = 0;
+  bool above_watermark_ = false;
+
+  uint64_t sent_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t flushes_ = 0;
+  std::function<void(Packet)> receiver_;
+  std::function<void()> on_watermark_;
+};
+
+// Pools unidirectional channels keyed by (src node, dst node, verb).
+// Endpoints' CPU servers are provided by a resolver so the manager can be
+// dropped into any host (the tests use one comm CPU per node).
+class ChannelManager {
+ public:
+  using CpuResolver = std::function<sim::CpuServer*(int node)>;
+
+  ChannelManager(net::Fabric& fabric, const net::CostModel& cost,
+                 ChannelConfig defaults, CpuResolver resolver)
+      : fabric_(fabric),
+        cost_(cost),
+        defaults_(defaults),
+        resolver_(std::move(resolver)) {}
+
+  // Returns the channel src -> dst with the given discipline, creating it
+  // on first use.
+  Channel& get(int src, int dst, Verb verb);
+  Channel& get(int src, int dst) { return get(src, dst, defaults_.verb); }
+
+  size_t size() const { return channels_.size(); }
+
+ private:
+  net::Fabric& fabric_;
+  const net::CostModel& cost_;
+  ChannelConfig defaults_;
+  CpuResolver resolver_;
+  std::map<std::tuple<int, int, Verb>, std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace whale::rdma

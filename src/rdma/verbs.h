@@ -1,0 +1,185 @@
+// Verbs-style RDMA API over the simulated fabric.
+//
+// A QueuePair connects two endpoints (node + the CPU server of the comm
+// thread that posts/handles work on that node) and implements the three
+// verb disciplines Whale distinguishes (Sec. 4 / Figs. 29-32):
+//
+//  - kSendRecv  two-sided SEND/RECV. The initiator pays a post cost, the
+//               target CPU is scheduled per message to consume the receive
+//               completion and repost a buffer.
+//  - kWrite     one-sided WRITE. Initiator post cost; the target CPU only
+//               pays a small completion-detection cost (polling a flag).
+//  - kRead      one-sided READ against the producer's ring memory region.
+//               The producer enqueues payloads into the ring with *no*
+//               per-message verb cost; the consumer runs a fetch loop that
+//               READs batches sequentially. This is the discipline Whale
+//               uses for stream data (DiffVerbs policy).
+//
+// Payload bytes are real (shared, reference-counted byte vectors), so relay
+// nodes forward without re-serialization, exactly like the zero-copy path
+// in the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "net/cost_model.h"
+#include "net/fabric.h"
+#include "rdma/ring_buffer.h"
+#include "sim/cpu.h"
+
+namespace whale::rdma {
+
+// A serialized message in flight. `bytes` is shared so that multicast
+// relaying and local dispatch never copy payloads.
+struct Packet {
+  std::shared_ptr<const std::vector<uint8_t>> bytes;
+  Time created = 0;   // stamped by the producer, for end-to-end latency
+  uint64_t id = 0;    // opaque correlation id (tuple / batch id)
+
+  uint64_t size() const { return bytes ? bytes->size() : 0; }
+};
+
+using Bundle = std::vector<Packet>;
+
+inline uint64_t bundle_bytes(const Bundle& b) {
+  uint64_t n = 0;
+  for (const auto& p : b) n += p.size();
+  return n;
+}
+
+enum class Verb : uint8_t { kSendRecv = 0, kWrite = 1, kRead = 2 };
+
+inline const char* to_string(Verb v) {
+  switch (v) {
+    case Verb::kSendRecv: return "send/recv";
+    case Verb::kWrite: return "write";
+    case Verb::kRead: return "read";
+  }
+  return "?";
+}
+
+struct Completion {
+  Verb verb;
+  uint64_t wr_id;
+  Time time;
+  uint64_t bytes;
+};
+
+// Minimal completion queue: the simulation delivers completions through
+// callbacks, but the CQ keeps the records so tests and monitors can poll.
+class CompletionQueue {
+ public:
+  void push(const Completion& c) {
+    entries_.push_back(c);
+    ++total_;
+  }
+
+  std::optional<Completion> poll() {
+    if (entries_.empty()) return std::nullopt;
+    Completion c = entries_.front();
+    entries_.pop_front();
+    return c;
+  }
+
+  size_t depth() const { return entries_.size(); }
+  uint64_t total() const { return total_; }
+
+ private:
+  std::deque<Completion> entries_;
+  uint64_t total_ = 0;
+};
+
+// One side of a QueuePair: the node it lives on and the CPU server of the
+// thread that posts work requests / handles completions there.
+struct QpEndpoint {
+  int node = 0;
+  sim::CpuServer* cpu = nullptr;
+};
+
+struct QpConfig {
+  Verb verb = Verb::kSendRecv;
+  // Ring memory region capacity (READ discipline only).
+  uint64_t ring_capacity = 4 * 1024 * 1024;
+  // Max bytes one READ fetches (the consumer batches sequential messages).
+  uint64_t read_batch_max = 64 * 1024;
+  // Size of the READ request descriptor on the wire.
+  uint64_t read_request_bytes = 16;
+};
+
+class QueuePair {
+ public:
+  QueuePair(net::Fabric& fabric, const net::CostModel& cost, QpConfig config,
+            QpEndpoint local, QpEndpoint remote);
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  // Delivery callback on the remote side, one call per packet.
+  void set_recv_handler(std::function<void(Packet)> fn) {
+    recv_handler_ = std::move(fn);
+  }
+
+  // Transmits a bundle (one work request / one ring append), consuming it
+  // on success. Returns false leaving the bundle untouched if the
+  // READ-mode ring cannot accept it; the caller should register
+  // wait_for_space and retry. `on_posted` fires once the local side has
+  // finished its part (post cost paid / ring append done).
+  bool transmit(Bundle& bundle, std::function<void()> on_posted = nullptr);
+
+  // Convenience overload for single-shot callers.
+  bool transmit(Bundle&& bundle, std::function<void()> on_posted = nullptr) {
+    Bundle b = std::move(bundle);
+    return transmit(b, std::move(on_posted));
+  }
+
+  // Fires once, the next time ring space is released (READ mode).
+  void wait_for_space(std::function<void()> fn) {
+    space_waiters_.push_back(std::move(fn));
+  }
+
+  Verb verb() const { return config_.verb; }
+  const QpEndpoint& local() const { return local_; }
+  const QpEndpoint& remote() const { return remote_; }
+  CompletionQueue& send_cq() { return send_cq_; }
+  const RingMemoryRegion* ring() const { return ring_ ? ring_.get() : nullptr; }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_delivered() const { return packets_delivered_; }
+  uint64_t reads_issued() const { return reads_issued_; }
+
+ private:
+  void deliver(Packet p);
+  void maybe_fetch();     // consumer-side READ loop
+  void release_space();
+
+  net::Fabric& fabric_;
+  const net::CostModel& cost_;
+  QpConfig config_;
+  QpEndpoint local_;
+  QpEndpoint remote_;
+
+  std::function<void(Packet)> recv_handler_;
+  CompletionQueue send_cq_;
+
+  // READ discipline state: producer-side ring + FIFO of posted fetch
+  // units. Each transmit() posts ONE contiguous ring region (one sliced
+  // work request); the consumer READs whole units sequentially, batching
+  // consecutive units up to read_batch_max.
+  std::unique_ptr<RingMemoryRegion> ring_;
+  std::deque<Bundle> pending_;
+  bool read_outstanding_ = false;
+  std::vector<std::function<void()>> space_waiters_;
+
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_delivered_ = 0;
+  uint64_t reads_issued_ = 0;
+  uint64_t next_wr_id_ = 1;
+};
+
+}  // namespace whale::rdma

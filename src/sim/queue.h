@@ -1,0 +1,91 @@
+// Bounded FIFO queue with occupancy tracking.
+//
+// Models the transfer queues of the DSPS: capacity Q, producers observe
+// rejection when full (Storm-style backpressure is built on top of
+// try_push + wait_for_space), and a QueueMonitor can sample the length —
+// the signal driving Whale's queue-based self-adjusting mechanism.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/time.h"
+
+namespace whale::sim {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  // Returns false (and counts a rejection) when the queue is full; `item`
+  // is moved from ONLY on success, so callers can retry after
+  // wait_for_space fires.
+  bool try_push(T& item) {
+    if (full()) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    ++pushed_;
+    if (items_.size() > max_occupancy_) max_occupancy_ = items_.size();
+    if (on_item_ && items_.size() == 1) on_item_();
+    return true;
+  }
+
+  // Rvalue convenience for fire-and-forget pushes (the item is lost on
+  // rejection; the rejection counter still ticks).
+  bool try_push(T&& item) {
+    T local = std::move(item);
+    return try_push(local);
+  }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++popped_;
+    if (!space_waiters_.empty()) {
+      auto fn = std::move(space_waiters_.front());
+      space_waiters_.pop_front();
+      fn();
+    }
+    return item;
+  }
+
+  const T& front() const { return items_.front(); }
+
+  // Fires whenever the queue transitions empty -> non-empty (consumer wakeup).
+  void set_on_item(std::function<void()> fn) { on_item_ = std::move(fn); }
+
+  // FIFO list of producers blocked on a full queue; each pop releases one.
+  void wait_for_space(std::function<void()> fn) {
+    space_waiters_.push_back(std::move(fn));
+  }
+
+  uint64_t pushed() const { return pushed_; }
+  uint64_t popped() const { return popped_; }
+  uint64_t rejected() const { return rejected_; }
+  size_t max_occupancy() const { return max_occupancy_; }
+  size_t waiters() const { return space_waiters_.size(); }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  std::deque<std::function<void()>> space_waiters_;
+  std::function<void()> on_item_;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+  uint64_t rejected_ = 0;
+  size_t max_occupancy_ = 0;
+};
+
+}  // namespace whale::sim

@@ -1,0 +1,83 @@
+// Serialized throughput resources (NIC transmit engines, links).
+//
+// A ThroughputResource serves byte transfers back to back at a fixed
+// bandwidth: a transfer of B bytes occupies the resource for B/bw seconds.
+// This models NIC egress serialization — the mechanism by which a 1 Gbps
+// Ethernet card saturates under instance-oriented all-grouping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+#include "sim/simulation.h"
+
+namespace whale::sim {
+
+class ThroughputResource {
+ public:
+  // bandwidth_bps: bits per second.
+  ThroughputResource(Simulation& sim, std::string name, double bandwidth_bps)
+      : sim_(sim), name_(std::move(name)), bandwidth_bps_(bandwidth_bps) {}
+
+  ThroughputResource(const ThroughputResource&) = delete;
+  ThroughputResource& operator=(const ThroughputResource&) = delete;
+
+  // Time this resource needs to push `bytes` onto the wire.
+  Duration transfer_time(uint64_t bytes) const {
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+    return from_seconds(seconds);
+  }
+
+  // Enqueues a transfer; `done` fires when the last bit has left the
+  // resource (propagation is added by the fabric, not here). `fixed`
+  // models per-message engine overhead (e.g. RNIC work-request setup)
+  // that occupies the resource in addition to the wire time.
+  void transfer(uint64_t bytes, std::function<void()> done,
+                Duration fixed = 0) {
+    jobs_.push_back(Job{transfer_time(bytes) + fixed, std::move(done)});
+    bytes_total_ += bytes;
+    if (!busy_) start_next();
+  }
+
+  bool busy() const { return busy_; }
+  size_t queue_depth() const { return jobs_.size(); }
+  uint64_t bytes_transferred() const { return bytes_total_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  Duration total_busy() const { return total_busy_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    Duration duration;
+    std::function<void()> done;
+  };
+
+  void start_next() {
+    if (jobs_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    sim_.schedule_after(job.duration, [this, job = std::move(job)]() mutable {
+      total_busy_ += job.duration;
+      if (job.done) job.done();
+      start_next();
+    });
+  }
+
+  Simulation& sim_;
+  std::string name_;
+  double bandwidth_bps_;
+  std::deque<Job> jobs_;
+  bool busy_ = false;
+  Duration total_busy_ = 0;
+  uint64_t bytes_total_ = 0;
+};
+
+}  // namespace whale::sim

@@ -1,0 +1,83 @@
+// Discrete event simulation kernel.
+//
+// The kernel is deliberately minimal: a monotonically advancing clock and a
+// priority queue of (time, sequence, callback) events. Ties on time are
+// broken by insertion order, so the simulation is fully deterministic.
+// Everything else in the project (CPU servers, NICs, queues, the DSPS
+// engine) is built as callbacks over this kernel.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace whale::sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+  uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  void schedule_at(Time t, Callback fn) {
+    assert(t >= now_ && "cannot schedule in the past");
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  void schedule_after(Duration d, Callback fn) {
+    assert(d >= 0);
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  // Runs the earliest event. Returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top is const; the callback must be moved out before
+    // pop, so we const_cast the owned element (safe: we pop immediately).
+    Event& ev = const_cast<Event&>(queue_.top());
+    now_ = ev.time;
+    Callback fn = std::move(ev.fn);
+    queue_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+
+  // Processes every event with time <= t, then advances the clock to t.
+  void run_until(Time t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (now_ < t) now_ = t;
+  }
+
+  // Runs until no events remain (or `max_events` as a runaway guard).
+  void run(uint64_t max_events = UINT64_MAX) {
+    uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+  }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace whale::sim

@@ -1,0 +1,89 @@
+#include "workloads/ridehailing.h"
+
+#include <algorithm>
+namespace whale::workloads {
+
+dsps::Tuple DriverLocationSpout::next(Rng& rng) {
+  dsps::Tuple t;
+  t.values.reserve(4);
+  t.values.emplace_back(static_cast<int64_t>(kDriverUpdate));
+  t.values.emplace_back(rng.uniform_int(0, p_.num_drivers - 1));
+  t.values.emplace_back(rng.uniform(0.0, p_.city_km));
+  t.values.emplace_back(rng.uniform(0.0, p_.city_km));
+  return t;
+}
+
+dsps::Tuple PassengerRequestSpout::next(Rng& rng) {
+  dsps::Tuple t;
+  t.values.reserve(4);
+  t.values.emplace_back(static_cast<int64_t>(kPassengerRequest));
+  t.values.emplace_back(next_request_++);
+  t.values.emplace_back(rng.uniform(0.0, p_.city_km));
+  t.values.emplace_back(rng.uniform(0.0, p_.city_km));
+  return t;
+}
+
+void MatchingBolt::prepare(const dsps::TaskContext& ctx) {
+  ctx_ = ctx;
+  // The driver stream is fields-grouped on the driver id; this instance
+  // owns exactly the ids whose hash lands on it. Positions are derived
+  // deterministically from the id so every run sees the same city.
+  for (int64_t id = 0; id < p_.num_drivers; ++id) {
+    if (dsps::value_hash(dsps::Value{id}) %
+            static_cast<uint64_t>(ctx.parallelism) !=
+        static_cast<uint64_t>(ctx.instance_index)) {
+      continue;
+    }
+    Rng rng(static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL + 1);
+    drivers_[id] = Pos{rng.uniform(0.0, p_.city_km),
+                      rng.uniform(0.0, p_.city_km)};
+  }
+}
+
+Duration MatchingBolt::execute(const dsps::Tuple& t, dsps::Emitter& out) {
+  const auto tag = static_cast<RideTupleTag>(t.as_int(0));
+  if (tag == kDriverUpdate) {
+    drivers_[t.as_int(1)] = Pos{t.as_double(2), t.as_double(3)};
+    return p_.driver_update_cost;
+  }
+  // Passenger request: scan the local driver slice (the real join).
+  const int64_t request = t.as_int(1);
+  const double rx = t.as_double(2);
+  const double ry = t.as_double(3);
+  const double r2 = p_.radius_km * p_.radius_km;
+  for (const auto& [driver, pos] : drivers_) {
+    const double dx = pos.x - rx;
+    const double dy = pos.y - ry;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 <= r2) {
+      dsps::Tuple m;
+      m.values.reserve(3);
+      m.values.emplace_back(request);
+      m.values.emplace_back(driver);
+      m.values.emplace_back(d2);
+      out.emit(std::move(m));
+    }
+  }
+  // Modeled join time uses the *expected* slice size (num_drivers /
+  // parallelism): at the paper's data scale (6M drivers) key grouping
+  // balances slices to within <1%, whereas our scaled-down driver count
+  // would add ±15% hash noise and make the slowest instance an artificial
+  // bottleneck. The join itself still runs over the real local map.
+  const Duration slice = static_cast<Duration>(
+      std::max(1, p_.num_drivers / std::max(1, ctx_.parallelism)));
+  return p_.match_fixed_cost + p_.match_per_driver_cost * slice;
+}
+
+Duration RideAggregationBolt::execute(const dsps::Tuple& t,
+                                      dsps::Emitter&) {
+  const int64_t request = t.as_int(0);
+  const int64_t driver = t.as_int(1);
+  const double d2 = t.as_double(2);
+  auto [it, fresh] = best_.try_emplace(request, driver, d2);
+  if (!fresh && d2 < it->second.second) it->second = {driver, d2};
+  // Bound state: forget old requests once the table grows large.
+  if (best_.size() > 200000) best_.clear();
+  return p_.aggregation_cost;
+}
+
+}  // namespace whale::workloads

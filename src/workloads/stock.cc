@@ -1,0 +1,98 @@
+#include "workloads/stock.h"
+
+namespace whale::workloads {
+
+StockSpout::StockSpout(StockParams p)
+    : p_(p),
+      zipf_(std::make_shared<const ZipfSampler>(
+          static_cast<size_t>(p.num_symbols), p.zipf_exponent)) {}
+
+dsps::Tuple StockSpout::next(Rng& rng) {
+  dsps::Tuple t;
+  t.values.reserve(4);
+  t.values.emplace_back(static_cast<int64_t>(zipf_->sample(rng)));
+  t.values.emplace_back(
+      static_cast<int64_t>(rng.bernoulli(0.5) ? kBuy : kSell));
+  t.values.emplace_back(rng.uniform(10.0, 500.0));        // price
+  t.values.emplace_back(rng.uniform_int(1, 1000));        // quantity
+  return t;
+}
+
+Duration SplitBolt::execute(const dsps::Tuple& t, dsps::Emitter& out) {
+  // Records violating trading rules are dropped (we model validity as a
+  // deterministic hash of the record so the fraction is stable).
+  const uint64_t h = dsps::value_hash(t.values[2]);
+  if (static_cast<double>(h % 10000) <
+      p_.invalid_fraction * 10000.0) {
+    ++filtered_;
+    return p_.split_cost;
+  }
+  dsps::Tuple fwd = t;  // tagged buy/sell already in values[1]
+  const size_t out_stream =
+      two_streams_ ? (t.as_int(1) == kBuy ? 0u : 1u) : 0u;
+  out.emit(std::move(fwd), out_stream);
+  return p_.split_cost;
+}
+
+Duration StockMatchingBolt::execute(const dsps::Tuple& t,
+                                    dsps::Emitter& out) {
+  const int64_t symbol = t.as_int(0);
+  // All-grouping delivers every order to every instance. Each instance
+  // validates the order against its owned symbol slice; only the owner of
+  // the symbol then runs the book.
+  const Duration validation =
+      p_.validation_fixed_cost +
+      p_.validation_per_symbol_cost *
+          static_cast<Duration>(std::max(
+              1, p_.num_symbols / std::max(1, ctx_.parallelism)));
+  if (symbol % ctx_.parallelism != ctx_.instance_index) {
+    return validation;
+  }
+  const auto type = static_cast<OrderType>(t.as_int(1));
+  const double price = t.as_double(2);
+  const int64_t qty = t.as_int(3);
+  Book& book = books_[symbol];
+  auto& mine = (type == kBuy) ? book.buys : book.sells;
+  auto& theirs = (type == kBuy) ? book.sells : book.buys;
+  int64_t remaining = qty;
+  while (remaining > 0 && !theirs.empty()) {
+    Order& head = theirs.front();
+    const bool crosses =
+        (type == kBuy) ? price >= head.price : price <= head.price;
+    if (!crosses) break;
+    const int64_t traded = std::min(remaining, head.qty);
+    dsps::Tuple trade;
+    trade.values.reserve(3);
+    trade.values.emplace_back(symbol);
+    trade.values.emplace_back(static_cast<int64_t>(traded));
+    trade.values.emplace_back(head.price);
+    out.emit(std::move(trade));
+    remaining -= traded;
+    head.qty -= traded;
+    if (head.qty == 0) theirs.pop_front();
+  }
+  if (remaining > 0) {
+    mine.push_back(Order{price, remaining});
+    if (mine.size() > 1024) mine.pop_front();  // bound book depth
+  }
+  return validation + p_.book_op_cost;
+}
+
+size_t StockMatchingBolt::open_orders() const {
+  size_t n = 0;
+  for (const auto& [sym, b] : books_) n += b.buys.size() + b.sells.size();
+  return n;
+}
+
+Duration VolumeAggregationBolt::execute(const dsps::Tuple& t,
+                                        dsps::Emitter&) {
+  const int64_t symbol = t.as_int(0);
+  const double vol =
+      static_cast<double>(t.as_int(1)) * t.as_double(2);
+  volume_[symbol] += vol;
+  total_volume_ += vol;
+  if (volume_.size() > 100000) volume_.clear();
+  return p_.aggregation_cost;
+}
+
+}  // namespace whale::workloads

@@ -1,0 +1,180 @@
+// Channel framework tests (the WhaleRDMAChannel-style general API):
+// ordered delivery under every verb discipline, slicing behaviour,
+// watermark signalling, ring backpressure absorption, and the manager's
+// channel pooling.
+#include <gtest/gtest.h>
+
+#include "rdma/channel.h"
+
+namespace whale::rdma {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() {
+    spec_.num_nodes = 4;
+    fabric_ = std::make_unique<net::Fabric>(sim_, spec_);
+    for (int i = 0; i < spec_.num_nodes; ++i) {
+      cpus_.push_back(std::make_unique<sim::CpuServer>(
+          sim_, "n" + std::to_string(i)));
+    }
+  }
+
+  std::unique_ptr<Channel> make(ChannelConfig cfg, int src = 0, int dst = 1) {
+    return std::make_unique<Channel>(
+        *fabric_, cost_, cfg, QpEndpoint{src, cpus_[size_t(src)].get()},
+        QpEndpoint{dst, cpus_[size_t(dst)].get()});
+  }
+
+  Packet packet(uint64_t bytes, uint64_t id) {
+    return Packet{std::make_shared<const std::vector<uint8_t>>(bytes, 7),
+                  sim_.now(), id};
+  }
+
+  sim::Simulation sim_;
+  net::ClusterSpec spec_;
+  net::CostModel cost_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<sim::CpuServer>> cpus_;
+};
+
+TEST_F(ChannelTest, DeliversInOrderAllVerbs) {
+  for (const Verb verb : {Verb::kSendRecv, Verb::kWrite, Verb::kRead}) {
+    ChannelConfig cfg;
+    cfg.verb = verb;
+    cfg.mms_bytes = 0;  // flush per message
+    auto ch = make(cfg);
+    std::vector<uint64_t> got;
+    ch->set_receiver([&](Packet p) { got.push_back(p.id); });
+    for (uint64_t i = 0; i < 50; ++i) ch->send(packet(100, i));
+    sim_.run();
+    ASSERT_EQ(got.size(), 50u) << to_string(verb);
+    for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+    EXPECT_EQ(ch->delivered(), 50u);
+  }
+}
+
+TEST_F(ChannelTest, MmsBatchesIntoFewFlushes) {
+  ChannelConfig cfg;
+  cfg.mms_bytes = 10 * 1000;
+  cfg.wtl = sec(10);  // timer out of the picture
+  auto ch = make(cfg);
+  int received = 0;
+  ch->set_receiver([&](Packet) { ++received; });
+  for (int i = 0; i < 25; ++i) ch->send(packet(1000, uint64_t(i)));
+  sim_.run_until(sec(1));  // the parked 10 s WTL timer must not fire yet
+  EXPECT_EQ(received, 20);              // two full MMS batches went out...
+  EXPECT_EQ(ch->flushes(), 2u);
+  EXPECT_EQ(ch->buffered_bytes(), 5000u);  // ...5 tuples still waiting
+}
+
+TEST_F(ChannelTest, WtlFlushesTheTail) {
+  ChannelConfig cfg;
+  cfg.mms_bytes = 1 << 20;
+  cfg.wtl = ms(2);
+  auto ch = make(cfg);
+  int received = 0;
+  ch->set_receiver([&](Packet) { ++received; });
+  ch->send(packet(100, 1));
+  sim_.run_until(ms(1));
+  EXPECT_EQ(received, 0);
+  sim_.run_until(ms(4));
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(ChannelTest, WatermarkFiresOnceOnCrossing) {
+  ChannelConfig cfg;
+  cfg.verb = Verb::kRead;
+  cfg.qp.ring_capacity = 2048;  // tiny ring: bytes pile up in the channel
+  cfg.mms_bytes = 0;
+  cfg.high_watermark = 4000;
+  auto ch = make(cfg);
+  ch->set_receiver([](Packet) {});
+  int warnings = 0;
+  ch->set_watermark_callback([&] { ++warnings; });
+  for (int i = 0; i < 8; ++i) ch->send(packet(1000, uint64_t(i)));
+  EXPECT_EQ(warnings, 1);  // crossing up fires exactly once
+  sim_.run();
+  EXPECT_EQ(ch->delivered(), 8u);  // backpressure eventually drains
+  EXPECT_EQ(ch->buffered_bytes(), 0u);
+}
+
+TEST_F(ChannelTest, RingSmallerThanBundleStillDrains) {
+  ChannelConfig cfg;
+  cfg.verb = Verb::kRead;
+  cfg.qp.ring_capacity = 1500;
+  cfg.mms_bytes = 0;
+  auto ch = make(cfg);
+  int received = 0;
+  ch->set_receiver([&](Packet) { ++received; });
+  for (int i = 0; i < 10; ++i) ch->send(packet(1000, uint64_t(i)));
+  sim_.run();
+  EXPECT_EQ(received, 10);
+}
+
+TEST_F(ChannelTest, SendRecvChargesRemoteCpuReadDoesNot) {
+  ChannelConfig cfg;
+  cfg.mms_bytes = 0;
+  cfg.verb = Verb::kSendRecv;
+  auto two_sided = make(cfg, 0, 1);
+  two_sided->set_receiver([](Packet) {});
+  cfg.verb = Verb::kRead;
+  auto read = make(cfg, 2, 3);
+  read->set_receiver([](Packet) {});
+  for (int i = 0; i < 20; ++i) {
+    two_sided->send(packet(500, uint64_t(i)));
+    read->send(packet(500, uint64_t(i)));
+  }
+  sim_.run();
+  // Two-sided: producer posts cost CPU. READ: producer CPU untouched.
+  EXPECT_GT(cpus_[0]->busy_time(), 0);
+  EXPECT_EQ(cpus_[2]->busy_time(), 0);
+}
+
+TEST_F(ChannelTest, ManagerPoolsByKey) {
+  ChannelConfig defaults;
+  ChannelManager mgr(*fabric_, cost_, defaults,
+                     [this](int node) { return cpus_[size_t(node)].get(); });
+  Channel& a = mgr.get(0, 1);
+  Channel& b = mgr.get(0, 1);
+  Channel& c = mgr.get(1, 0);
+  Channel& d = mgr.get(0, 1, Verb::kSendRecv);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(mgr.size(), 3u);
+}
+
+TEST_F(ChannelTest, ManagerChannelsWorkEndToEnd) {
+  ChannelConfig defaults;
+  defaults.mms_bytes = 0;
+  ChannelManager mgr(*fabric_, cost_, defaults,
+                     [this](int node) { return cpus_[size_t(node)].get(); });
+  int received = 0;
+  mgr.get(0, 3).set_receiver([&](Packet) { ++received; });
+  for (int i = 0; i < 5; ++i) mgr.get(0, 3).send(packet(64, uint64_t(i)));
+  sim_.run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST_F(ChannelTest, PayloadIntegrityThroughSlicing) {
+  ChannelConfig cfg;
+  cfg.mms_bytes = 3000;
+  auto ch = make(cfg);
+  std::vector<std::vector<uint8_t>> got;
+  ch->set_receiver([&](Packet p) { got.push_back(*p.bytes); });
+  for (uint8_t i = 0; i < 9; ++i) {
+    auto bytes = std::make_shared<const std::vector<uint8_t>>(
+        std::vector<uint8_t>(1000, i));
+    ch->send(Packet{bytes, sim_.now(), i});
+  }
+  sim_.run();
+  ASSERT_EQ(got.size(), 9u);
+  for (uint8_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(got[i].size(), 1000u);
+    EXPECT_EQ(got[i][0], i);
+  }
+}
+
+}  // namespace
+}  // namespace whale::rdma

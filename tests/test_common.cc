@@ -1,0 +1,277 @@
+// Unit tests for the common module: RNG determinism and distributions,
+// byte-buffer serialization primitives, and statistics containers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace whale {
+namespace {
+
+// --- time helpers -----------------------------------------------------------
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(us(1), 1000);
+  EXPECT_EQ(ms(1), 1000 * 1000);
+  EXPECT_EQ(sec(1), 1000LL * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(us(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_micros(ns(2500)), 2.5);
+  EXPECT_EQ(from_seconds(0.000001), us(1));
+}
+
+TEST(TimeUnits, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1e-9), 1);
+  EXPECT_EQ(from_seconds(2.5e-9), 3);  // rounds to nearest ns
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    lo |= (v == 3);
+    hi |= (v == 7);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(11);
+  const double rate = 1000.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02 / rate * 5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(13);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  StreamingStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(s.variance()), 2.0, 0.05);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng r(19);
+  ZipfSampler z(100, 1.1);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(r)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // All samples in range.
+  for (const auto& [rank, c] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(Zipf, SingleItem) {
+  Rng r(21);
+  ZipfSampler z(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(r), 0u);
+}
+
+// --- bytes ---------------------------------------------------------------------
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintBoundaries) {
+  const uint64_t cases[] = {0,    1,    127,        128,
+                            129,  0x3FFF, 0x4000,     (1ull << 32) - 1,
+                            1ull << 32, UINT64_MAX};
+  for (uint64_t v : cases) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.get_varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Bytes, VarintCompactness) {
+  ByteWriter w;
+  w.put_varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.put_varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_string("hello");
+  w.put_string(std::string(1000, 'x'));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  ByteWriter w;
+  w.put_u8(1);
+  ByteReader r(w.data());
+  r.get_u8();
+  EXPECT_THROW(r.get_u32(), std::out_of_range);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put_varint(100);  // promises 100 bytes, delivers none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.get_string(), std::out_of_range);
+}
+
+TEST(Bytes, BytesRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 255, 0};
+  ByteWriter w;
+  w.put_bytes(payload);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_bytes(), payload);
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(StreamingStats, Basics) {
+  StreamingStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StreamingStats, MergeEqualsCombined) {
+  StreamingStats a, b, all;
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.normal(10, 3);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LatencyHistogram, QuantileAccuracy) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.add(us(i));
+  // Bucketed quantiles: within ~7% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.p50()), static_cast<double>(us(5000)),
+              static_cast<double>(us(5000)) * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.p99()), static_cast<double>(us(9900)),
+              static_cast<double>(us(9900)) * 0.07);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.max(), us(10000));
+}
+
+TEST(LatencyHistogram, MeanExact) {
+  LatencyHistogram h;
+  h.add(100);
+  h.add(300);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.add(us(10));
+  b.add(us(20));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), us(20));
+}
+
+TEST(LatencyHistogram, HandlesExtremes) {
+  LatencyHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(sec(3600));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.quantile(1.0), sec(3600) / 2);
+}
+
+TEST(TimeSeries, BinningAndRates) {
+  TimeSeries ts(ms(10));
+  ts.add(ms(5));       // bin 0
+  ts.add(ms(15));      // bin 1
+  ts.add(ms(15), 2.0); // bin 1
+  ts.add(ms(95));      // bin 9
+  ASSERT_EQ(ts.num_bins(), 10u);
+  EXPECT_DOUBLE_EQ(ts.bin_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.bin_value(1), 3.0);
+  EXPECT_DOUBLE_EQ(ts.bin_value(5), 0.0);
+  EXPECT_DOUBLE_EQ(ts.bin_rate(1), 300.0);  // 3 per 10 ms
+  EXPECT_EQ(ts.bin_start(9), ms(90));
+}
+
+TEST(Ewma, SmoothsTowardsInput) {
+  Ewma e(0.8);
+  EXPECT_FALSE(e.initialized());
+  e.add(100);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // first sample initializes
+  e.add(0);
+  EXPECT_DOUBLE_EQ(e.value(), 80.0);  // 0.8*100 + 0.2*0
+  e.add(0);
+  EXPECT_DOUBLE_EQ(e.value(), 64.0);
+}
+
+}  // namespace
+}  // namespace whale

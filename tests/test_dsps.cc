@@ -1,0 +1,191 @@
+// DSPS programming-model tests: tuple serde (both wire formats of Fig. 9),
+// topology building, value hashing, and the message envelope.
+#include <gtest/gtest.h>
+
+#include "core/message.h"
+#include "dsps/serde.h"
+#include "dsps/topology.h"
+
+namespace whale::dsps {
+namespace {
+
+Tuple sample_tuple() {
+  Tuple t;
+  t.values = {Value{int64_t{42}}, Value{3.5}, Value{std::string("symbol")}};
+  t.stream = 3;
+  t.root_id = 777;
+  t.root_emit_time = ms(12);
+  return t;
+}
+
+TEST(Serde, BodyRoundTrip) {
+  const Tuple t = sample_tuple();
+  ByteWriter w;
+  TupleSerde::encode_body(t, w);
+  ByteReader r(w.data());
+  const Tuple d = TupleSerde::decode_body(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(d.stream, t.stream);
+  EXPECT_EQ(d.root_id, t.root_id);
+  EXPECT_EQ(d.root_emit_time, t.root_emit_time);
+  ASSERT_EQ(d.values.size(), 3u);
+  EXPECT_EQ(d.as_int(0), 42);
+  EXPECT_DOUBLE_EQ(d.as_double(1), 3.5);
+  EXPECT_EQ(d.as_string(2), "symbol");
+}
+
+TEST(Serde, EmptyTupleRoundTrip) {
+  Tuple t;
+  ByteWriter w;
+  TupleSerde::encode_body(t, w);
+  ByteReader r(w.data());
+  const Tuple d = TupleSerde::decode_body(r);
+  EXPECT_TRUE(d.values.empty());
+}
+
+TEST(Serde, InstanceMessageCarriesOneDestination) {
+  const Tuple t = sample_tuple();
+  const auto bytes = TupleSerde::encode_instance_message(17, t);
+  const auto m = TupleSerde::decode_instance_message(bytes);
+  EXPECT_EQ(m.dst_task, 17);
+  EXPECT_EQ(m.tuple.as_int(0), 42);
+}
+
+TEST(Serde, BatchMessageCarriesIdList) {
+  const Tuple t = sample_tuple();
+  const std::vector<int32_t> ids = {3, 19, 480, 7};
+  const auto bytes = TupleSerde::encode_batch_message(ids, t);
+  const auto m = TupleSerde::decode_batch_message(bytes);
+  EXPECT_EQ(m.dst_tasks, ids);
+  EXPECT_EQ(m.tuple.as_string(2), "symbol");
+}
+
+TEST(Serde, BatchCheaperThanRepeatedInstanceMessages) {
+  // The size argument for worker-oriented communication (Fig. 9): one
+  // batch message to k colocated instances is far smaller than k instance
+  // messages.
+  const Tuple t = sample_tuple();
+  std::vector<int32_t> ids;
+  size_t instance_total = 0;
+  for (int32_t i = 0; i < 16; ++i) {
+    ids.push_back(i);
+    instance_total += TupleSerde::encode_instance_message(i, t).size();
+  }
+  const size_t batch = TupleSerde::encode_batch_message(ids, t).size();
+  EXPECT_LT(batch * 4, instance_total);
+}
+
+TEST(Serde, BodySizeMatchesEncoding) {
+  const Tuple t = sample_tuple();
+  ByteWriter w;
+  TupleSerde::encode_body(t, w);
+  EXPECT_EQ(TupleSerde::body_size(t), w.size());
+}
+
+TEST(ValueHash, StableAndSpread) {
+  EXPECT_EQ(value_hash(Value{int64_t{5}}), value_hash(Value{int64_t{5}}));
+  EXPECT_NE(value_hash(Value{int64_t{5}}), value_hash(Value{int64_t{6}}));
+  EXPECT_EQ(value_hash(Value{std::string("abc")}),
+            value_hash(Value{std::string("abc")}));
+  EXPECT_NE(value_hash(Value{std::string("abc")}),
+            value_hash(Value{std::string("abd")}));
+  // Rough uniformity: 1000 consecutive ints spread over 10 buckets.
+  std::vector<int> buckets(10, 0);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ++buckets[value_hash(Value{i}) % 10];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 50);
+    EXPECT_LT(b, 200);
+  }
+}
+
+// --- topology builder ---------------------------------------------------------
+
+struct NopBolt : Bolt {
+  Duration execute(const Tuple&, Emitter&) override { return us(1); }
+};
+struct NopSpout : Spout {
+  Tuple next(Rng&) override { return Tuple{}; }
+};
+
+TEST(TopologyBuilder, BuildsDag) {
+  TopologyBuilder b;
+  const int s = b.add_spout(
+      "s", [] { return std::make_unique<NopSpout>(); }, 2,
+      RateProfile::constant(100));
+  const int m = b.add_bolt(
+      "m", [] { return std::make_unique<NopBolt>(); }, 8);
+  const int a = b.add_bolt(
+      "a", [] { return std::make_unique<NopBolt>(); }, 2);
+  const int s1 = b.connect(s, m, Grouping::kAll);
+  const int s2 = b.connect(m, a, Grouping::kFields, 1);
+  const auto topo = b.build();
+  EXPECT_EQ(topo.num_tasks(), 12);
+  EXPECT_EQ(topo.streams.size(), 2u);
+  EXPECT_EQ(topo.ops[0].out_streams, std::vector<int>{s1});
+  EXPECT_EQ(topo.ops[1].in_streams, std::vector<int>{s1});
+  EXPECT_EQ(topo.ops[1].out_streams, std::vector<int>{s2});
+  EXPECT_EQ(topo.streams[1].key_field, 1u);
+}
+
+TEST(TopologyBuilder, RejectsBadInputs) {
+  TopologyBuilder b;
+  EXPECT_THROW(
+      b.add_bolt("x", [] { return std::make_unique<NopBolt>(); }, 0),
+      std::invalid_argument);
+  const int s = b.add_spout(
+      "s", [] { return std::make_unique<NopSpout>(); }, 1,
+      RateProfile::constant(1));
+  const int m = b.add_bolt(
+      "m", [] { return std::make_unique<NopBolt>(); }, 1);
+  EXPECT_THROW(b.connect(m, s, Grouping::kShuffle), std::invalid_argument);
+  EXPECT_THROW(b.connect(s, 99, Grouping::kShuffle), std::out_of_range);
+}
+
+TEST(RateProfile, PiecewiseSteps) {
+  auto r = RateProfile::constant(1000);
+  r.then_at(sec(1), 5000).then_at(sec(2), 0);
+  EXPECT_DOUBLE_EQ(r.rate_at(0), 1000);
+  EXPECT_DOUBLE_EQ(r.rate_at(sec(1) - 1), 1000);
+  EXPECT_DOUBLE_EQ(r.rate_at(sec(1)), 5000);
+  EXPECT_DOUBLE_EQ(r.rate_at(sec(3)), 0);
+}
+
+// --- message envelope ---------------------------------------------------------
+
+TEST(Envelope, InstanceDataHeader) {
+  const auto payload = TupleSerde::encode_instance_message(5, sample_tuple());
+  const auto bytes = core::frame(core::MsgKind::kInstanceData, 0, payload);
+  const auto env = core::peek(*bytes);
+  EXPECT_EQ(env.kind, core::MsgKind::kInstanceData);
+  const auto m = TupleSerde::decode_instance_message(
+      core::payload_of(*bytes, env));
+  EXPECT_EQ(m.dst_task, 5);
+}
+
+TEST(Envelope, ControlHeaderCarriesGroup) {
+  const std::vector<uint8_t> payload = {9, 9};
+  const auto bytes = core::frame(core::MsgKind::kControl, 1234, payload);
+  const auto env = core::peek(*bytes);
+  EXPECT_EQ(env.kind, core::MsgKind::kControl);
+  EXPECT_EQ(env.group, 1234u);
+  EXPECT_EQ(core::payload_of(*bytes, env).size(), 2u);
+}
+
+TEST(Emitter, CollectsInOrder) {
+  Emitter e;
+  Tuple a, b;
+  a.values = {Value{int64_t{1}}};
+  b.values = {Value{int64_t{2}}};
+  e.emit(std::move(a), 0);
+  e.emit(std::move(b), 1);
+  auto& out = e.take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 0u);
+  EXPECT_EQ(out[0].second.as_int(0), 1);
+  EXPECT_EQ(out[1].first, 1u);
+}
+
+}  // namespace
+}  // namespace whale::dsps

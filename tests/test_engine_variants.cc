@@ -1,0 +1,193 @@
+// Cross-variant shape tests at reduced paper scale: the orderings the
+// paper's evaluation establishes must hold in the reproduction
+// (Storm < RDMA-Storm < Whale-WOC < Whale-WOC-RDMA <= Whale at high
+// parallelism; traffic reductions; serialization-share ordering).
+#include <gtest/gtest.h>
+
+#include "apps/ride_hailing_app.h"
+#include "apps/stock_app.h"
+#include "core/engine.h"
+
+namespace whale::core {
+namespace {
+
+// 10 nodes, 80 matching instances: big enough for the orderings, small
+// enough for CI.
+constexpr int kNodes = 10;
+constexpr int kParallelism = 80;
+constexpr double kRate = 20000.0;
+
+EngineConfig cfg(SystemVariant v) {
+  EngineConfig c;
+  c.cluster.num_nodes = kNodes;
+  c.variant = v;
+  c.seed = 11;
+  return c;
+}
+
+RunReport run_ride(SystemVariant v, double rate = kRate,
+                   int parallelism = kParallelism) {
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = parallelism;
+  p.aggregation_parallelism = 4;
+  p.driver_spout_parallelism = 1;
+  // Light join costs: these tests probe the communication path orderings,
+  // so the downstream operator must not become the bottleneck at this
+  // reduced scale (20k drivers over 80 instead of 480 instances).
+  p.workload.match_fixed_cost = us(10);
+  p.workload.match_per_driver_cost = ns(100);
+  p.request_rate = dsps::RateProfile::constant(rate);
+  p.driver_rate = dsps::RateProfile::constant(rate / 4);
+  Engine e(cfg(v), apps::build_ride_hailing(p).topology);
+  return e.run(ms(150), ms(400));
+}
+
+RunReport run_stock(SystemVariant v) {
+  apps::StockAppParams p;
+  p.matching_parallelism = kParallelism;
+  p.aggregation_parallelism = 4;
+  // Light validation so the communication path, not the matching work,
+  // differentiates the variants at this reduced scale.
+  p.workload.validation_fixed_cost = us(10);
+  p.workload.validation_per_symbol_cost = ns(300);
+  p.order_rate = dsps::RateProfile::constant(kRate);
+  Engine e(cfg(v), apps::build_stock_exchange(p).topology);
+  return e.run(ms(150), ms(400));
+}
+
+TEST(VariantShapes, ThroughputOrderingRideHailing) {
+  const auto storm = run_ride(SystemVariant::Storm());
+  const auto rdma = run_ride(SystemVariant::RdmaStorm());
+  const auto woc = run_ride(SystemVariant::WhaleWoc());
+  const auto whale = run_ride(SystemVariant::Whale());
+  // Fig. 13's ordering under one-to-many saturation.
+  EXPECT_GT(rdma.mcast_throughput_tps, storm.mcast_throughput_tps * 1.5);
+  EXPECT_GT(woc.mcast_throughput_tps, rdma.mcast_throughput_tps * 1.5);
+  EXPECT_GT(whale.mcast_throughput_tps, woc.mcast_throughput_tps);
+  // Whale improves on Storm by an order of magnitude or more.
+  EXPECT_GT(whale.mcast_throughput_tps, storm.mcast_throughput_tps * 10);
+}
+
+TEST(VariantShapes, ThroughputOrderingStock) {
+  const auto storm = run_stock(SystemVariant::Storm());
+  const auto whale = run_stock(SystemVariant::Whale());
+  EXPECT_GT(whale.mcast_throughput_tps, storm.mcast_throughput_tps * 5);
+}
+
+TEST(VariantShapes, StormDegradesWithParallelism) {
+  // Fig. 2a: instance-oriented throughput falls as instances multiply.
+  const auto lo = run_ride(SystemVariant::Storm(), kRate, 20);
+  const auto hi = run_ride(SystemVariant::Storm(), kRate, 160);
+  EXPECT_LT(hi.mcast_throughput_tps, lo.mcast_throughput_tps * 0.5);
+}
+
+TEST(VariantShapes, WhaleScalesWithParallelism) {
+  // Fig. 13: Whale's throughput grows as instances share the join work.
+  const auto lo = run_ride(SystemVariant::Whale(), kRate, 20);
+  const auto hi = run_ride(SystemVariant::Whale(), kRate, 160);
+  EXPECT_GT(hi.mcast_throughput_tps, lo.mcast_throughput_tps * 1.5);
+}
+
+TEST(VariantShapes, UpstreamCpuSaturatesOnlyForInstanceOriented) {
+  // Fig. 2c: the upstream instance overloads while downstream idles.
+  const auto storm = run_ride(SystemVariant::Storm());
+  EXPECT_GT(storm.src_utilization, 0.95);
+  EXPECT_LT(storm.downstream_utilization_avg, 0.5);
+  const auto whale = run_ride(SystemVariant::Whale());
+  EXPECT_LT(whale.src_utilization, storm.src_utilization);
+}
+
+TEST(VariantShapes, StormCpuDominatedBySerializationAndProtocol) {
+  // Fig. 2d: serialization + packet processing dominate the upstream CPU.
+  const auto r = run_ride(SystemVariant::Storm());
+  const auto ser =
+      r.src_cpu_seconds[static_cast<size_t>(sim::CpuCategory::kSerialization)];
+  const auto proto =
+      r.src_cpu_seconds[static_cast<size_t>(sim::CpuCategory::kProtocol)];
+  const auto app =
+      r.src_cpu_seconds[static_cast<size_t>(sim::CpuCategory::kAppLogic)];
+  EXPECT_GT(ser + proto, 5 * app);
+  EXPECT_GT(proto, ser);  // kernel path costs more than Kryo per message
+}
+
+TEST(VariantShapes, TrafficReduction) {
+  // Figs. 27/28: WOC collapses per-instance duplicates into per-worker
+  // messages; with 80 instances over 10 nodes that is ~8x less source
+  // egress.
+  const auto storm = run_ride(SystemVariant::Storm(), 2000.0);
+  const auto whale = run_ride(SystemVariant::Whale(), 2000.0);
+  ASSERT_GT(storm.src_node_bytes, 0u);
+  ASSERT_GT(whale.src_node_bytes, 0u);
+  const double per_tuple_storm = static_cast<double>(storm.src_node_bytes) /
+                                 static_cast<double>(storm.roots_emitted);
+  const double per_tuple_whale = static_cast<double>(whale.src_node_bytes) /
+                                 static_cast<double>(whale.roots_emitted);
+  EXPECT_LT(per_tuple_whale, per_tuple_storm * 0.5);
+}
+
+TEST(VariantShapes, SerializationShareOfCommTime) {
+  // Fig. 26's ordering: RDMA-Storm spends almost all of its communication
+  // time serializing; Whale's share is small (batching waits dominate).
+  const auto rdma = run_ride(SystemVariant::RdmaStorm(), 2000.0);
+  const auto whale = run_ride(SystemVariant::Whale(), 2000.0);
+  ASSERT_GT(rdma.comm_time.count(), 0u);
+  ASSERT_GT(whale.comm_time.count(), 0u);
+  EXPECT_GT(rdma.ser_ratio, 0.5);
+  EXPECT_LT(whale.ser_ratio, rdma.ser_ratio);
+}
+
+TEST(VariantShapes, LatencyImprovement) {
+  const auto storm = run_ride(SystemVariant::Storm(), 4000.0);
+  const auto whale = run_ride(SystemVariant::Whale(), 4000.0);
+  // At a rate Storm cannot sustain but Whale can, Whale's processing
+  // latency is far below Storm's queue-dominated latency (Fig. 14).
+  EXPECT_LT(whale.processing_latency_ms_avg(),
+            storm.processing_latency_ms_avg() * 0.5);
+}
+
+TEST(VariantShapes, MulticastStructuresOrdering) {
+  // Figs. 17-22: the structures differ where it matters — under pressure.
+  // At the source's saturation point the relay trees keep the source's
+  // out-degree (and therefore its queueing delay) small: non-blocking and
+  // binomial beat sequential in both throughput and multicast latency,
+  // and the d*-capped tree is at least as good as binomial.
+  const double rate = 60000.0;
+  auto seq = run_ride(SystemVariant::WhaleWocRdma(), rate);
+  auto bin = run_ride(SystemVariant::WhaleWocRdmaBinomial(), rate);
+  auto non = run_ride(SystemVariant::Whale(), rate);
+  ASSERT_GT(seq.multicast_latency.count(), 0u);
+  ASSERT_GT(bin.multicast_latency.count(), 0u);
+  ASSERT_GT(non.multicast_latency.count(), 0u);
+  EXPECT_GT(bin.mcast_throughput_tps, seq.mcast_throughput_tps);
+  EXPECT_GE(non.mcast_throughput_tps, bin.mcast_throughput_tps * 0.95);
+  EXPECT_LT(bin.mcast_latency_ms_avg(), seq.mcast_latency_ms_avg());
+  EXPECT_LT(non.mcast_latency_ms_avg(), seq.mcast_latency_ms_avg());
+}
+
+TEST(VariantShapes, RackCountBarelyMatters) {
+  // Figs. 33/34: Whale's throughput/latency stay stable from 1 to 5 racks.
+  std::vector<double> tputs;
+  for (int racks : {1, 3, 5}) {
+    EngineConfig c = cfg(SystemVariant::Whale());
+    c.cluster.num_racks = racks;
+    apps::RideHailingAppParams p;
+    p.matching_parallelism = kParallelism;
+    p.aggregation_parallelism = 4;
+    p.driver_spout_parallelism = 1;
+    p.request_rate = dsps::RateProfile::constant(8000);
+    p.driver_rate = dsps::RateProfile::constant(2000);
+    Engine e(c, apps::build_ride_hailing(p).topology);
+    tputs.push_back(e.run(ms(150), ms(400)).mcast_throughput_tps);
+  }
+  EXPECT_NEAR(tputs[1], tputs[0], tputs[0] * 0.1);
+  EXPECT_NEAR(tputs[2], tputs[0], tputs[0] * 0.1);
+}
+
+TEST(VariantShapes, StockAppEndToEnd) {
+  const auto r = run_stock(SystemVariant::Whale());
+  EXPECT_GT(r.mcast_roots, 0u);
+  EXPECT_GT(r.sink_completions, 0u);  // trades really happen
+}
+
+}  // namespace
+}  // namespace whale::core

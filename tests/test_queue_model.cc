@@ -1,0 +1,206 @@
+// M/D/1 queue model tests (Eqs. 1-5, Theorem 1), including the consistency
+// of the corrected Eq. 3 with Eq. 5, and a discrete-event validation of the
+// stability boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "multicast/queue_model.h"
+#include "sim/cpu.h"
+#include "sim/queue.h"
+#include "sim/simulation.h"
+
+namespace whale::multicast {
+namespace {
+
+TEST(MD1, ProcessingRate) {
+  // Eq. 1: mu = 1/(d0 * te). d0 = 4, te = 25us -> 10k tuples/s.
+  EXPECT_NEAR(MD1::processing_rate(4, us(25)), 10000.0, 1e-6);
+}
+
+TEST(MD1, ProcessingRateWoc) {
+  // Sec. 4: mu = 1/(d*td + ts). d = 4, td = 2us, ts = 12us -> 50k/s.
+  EXPECT_NEAR(MD1::processing_rate_woc(4, us(2), us(12)), 50000.0, 1e-3);
+}
+
+TEST(MD1, QueueLengthGrowsTowardsInstability) {
+  const double mu = 1000.0;
+  double prev = 0.0;
+  for (double lambda : {100.0, 500.0, 900.0, 990.0}) {
+    const double l = MD1::avg_queue_length(lambda, mu);
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+  EXPECT_TRUE(std::isinf(MD1::avg_queue_length(1000.0, 1000.0)));
+  EXPECT_TRUE(std::isinf(MD1::avg_queue_length(2000.0, 1000.0)));
+}
+
+TEST(MD1, MaxUtilizationInUnitInterval) {
+  for (double q : {1.0, 10.0, 100.0, 4096.0}) {
+    const double rho = MD1::max_utilization(q);
+    EXPECT_GT(rho, 0.0) << q;
+    EXPECT_LT(rho, 1.0) << q;
+  }
+  // Large Q: rho -> 1 (stability is the binding constraint).
+  EXPECT_GT(MD1::max_utilization(10000.0), 0.99);
+}
+
+TEST(MD1, MaxOutDegreeConsistentWithCapacityBound) {
+  // The defining property of d* (corrected Eq. 3): at out-degree d* the
+  // average queue length stays within Q, at d*+1 it exceeds Q (or the
+  // queue destabilizes).
+  const double q = 64.0;
+  const Duration te = us(5);
+  for (double lambda : {1000.0, 5000.0, 20000.0, 60000.0}) {
+    const int d = MD1::max_out_degree(lambda, te, q);
+    ASSERT_GE(d, 1);
+    const double el_at_d = MD1::avg_queue_length(
+        lambda, MD1::processing_rate(d, te));
+    const double el_next = MD1::avg_queue_length(
+        lambda, MD1::processing_rate(d + 1, te));
+    if (el_at_d <= q) {
+      EXPECT_GT(el_next, q) << "lambda=" << lambda << " d=" << d;
+    } else {
+      // Even d = 1 cannot hold the bound: max_out_degree clamps to 1.
+      EXPECT_EQ(d, 1);
+    }
+  }
+}
+
+TEST(MD1, Theorem1MaxRateInverselyProportionalToDegree) {
+  const Duration te = us(10);
+  const double q = 100.0;
+  const double m1 = MD1::max_affordable_rate(1, te, q);
+  for (int d = 2; d <= 16; d *= 2) {
+    EXPECT_NEAR(MD1::max_affordable_rate(d, te, q), m1 / d, m1 * 1e-9);
+  }
+}
+
+TEST(MD1, Eq3AndEq5AreInverses) {
+  // d* computed from lambda must afford at least lambda (Eq. 5), and
+  // d* + 1 must not.
+  const Duration te = us(8);
+  const double q = 256.0;
+  for (double lambda : {500.0, 3000.0, 12000.0}) {
+    const int d = MD1::max_out_degree(lambda, te, q);
+    EXPECT_GE(MD1::max_affordable_rate(d, te, q), lambda * (1 - 1e-9));
+    EXPECT_LT(MD1::max_affordable_rate(d + 1, te, q), lambda);
+  }
+}
+
+TEST(MD1, ZeroRateMeansUnboundedDegree) {
+  EXPECT_EQ(MD1::max_out_degree(0.0, us(10), 64.0),
+            std::numeric_limits<int>::max());
+}
+
+TEST(MD1, BinomialOutDegree) {
+  EXPECT_EQ(MD1::binomial_out_degree(1), 1);
+  EXPECT_EQ(MD1::binomial_out_degree(3), 2);
+  EXPECT_EQ(MD1::binomial_out_degree(7), 3);
+  EXPECT_EQ(MD1::binomial_out_degree(8), 4);
+  EXPECT_EQ(MD1::binomial_out_degree(29), 5);
+  EXPECT_EQ(MD1::binomial_out_degree(480), 9);
+}
+
+TEST(Theorem4, LossFreeSwitchDelayBound) {
+  // Q = 1000, queue at 400 when triggered, 60k tps arriving: the paused
+  // window may last at most 600/60000 s = 10 ms.
+  EXPECT_EQ(max_loss_free_switch_delay(1000, 400, 60000.0), ms(10));
+  // Full queue: no loss-free window at all.
+  EXPECT_EQ(max_loss_free_switch_delay(1000, 1000, 60000.0), 0);
+  // Idle stream: unbounded.
+  EXPECT_EQ(max_loss_free_switch_delay(1000, 0, 0.0),
+            std::numeric_limits<Duration>::max());
+}
+
+TEST(Theorem5, ScaleUpBreakEven) {
+  // gamma' = 10k -> gamma = 40k with a 100 ms switch:
+  // X > 40k*10k*0.1 / 30k = 1333.3 tuples.
+  EXPECT_NEAR(switch_breakeven_tuples(10000, 40000, ms(100)), 40000.0 / 30.0,
+              1e-6);
+  // No rate gain: never pays off.
+  EXPECT_TRUE(std::isinf(switch_breakeven_tuples(10000, 10000, ms(100))));
+  EXPECT_TRUE(std::isinf(switch_breakeven_tuples(10000, 5000, ms(100))));
+  // Faster switching lowers the break-even point proportionally.
+  EXPECT_NEAR(switch_breakeven_tuples(10000, 40000, ms(10)) * 10.0,
+              switch_breakeven_tuples(10000, 40000, ms(100)), 1e-6);
+}
+
+// --- discrete-event validation of the model ---------------------------------
+
+// Simulates an M/D/1 server (Poisson arrivals, deterministic service
+// d0 * te) and compares the simulated average queue length with Eq. 2.
+double simulate_md1(double lambda, int d0, Duration te, uint64_t seed) {
+  sim::Simulation s;
+  Rng rng(seed);
+  sim::CpuServer server(s, "s");
+  sim::BoundedQueue<int> queue(1 << 20);
+  bool busy = false;
+  const Duration service = d0 * te;
+  double area = 0.0;  // time-integral of number-in-system
+  Time last = 0;
+
+  // Integrate the number-in-system at every state change (arrival and
+  // service completion), not just at arrivals.
+  auto account = [&] {
+    area += static_cast<double>(queue.size() + (busy ? 1 : 0)) *
+            static_cast<double>(s.now() - last);
+    last = s.now();
+  };
+  std::function<void()> pump = [&] {
+    if (busy) return;
+    auto item = queue.try_pop();
+    if (!item) return;
+    busy = true;  // pop + start service: number-in-system unchanged
+    server.execute(service, sim::CpuCategory::kOther, [&] {
+      account();
+      busy = false;
+      pump();
+    });
+  };
+  std::function<void()> arrive = [&] {
+    account();
+    queue.try_push(1);
+    pump();
+    s.schedule_after(from_seconds(rng.exponential(lambda)), arrive);
+  };
+  s.schedule_after(from_seconds(rng.exponential(lambda)), arrive);
+  s.run_until(sec(20));
+  return area / static_cast<double>(s.now());
+}
+
+TEST(MD1, SimulationMatchesFormulaModerateLoad) {
+  const double lambda = 5000.0;
+  const int d0 = 4;
+  const Duration te = us(30);  // rho = 0.6
+  const double model =
+      MD1::avg_queue_length(lambda, MD1::processing_rate(d0, te));
+  const double simulated = simulate_md1(lambda, d0, te, 99);
+  EXPECT_NEAR(simulated, model, model * 0.15 + 0.1);
+}
+
+TEST(MD1, SimulationMatchesFormulaHighLoad) {
+  const double lambda = 5000.0;
+  const int d0 = 6;
+  const Duration te = us(30);  // rho = 0.9
+  const double model =
+      MD1::avg_queue_length(lambda, MD1::processing_rate(d0, te));
+  const double simulated = simulate_md1(lambda, d0, te, 123);
+  EXPECT_NEAR(simulated, model, model * 0.35);
+}
+
+TEST(MD1, UnstableDegreeGrowsQueueInSimulation) {
+  // One past d*: the queue length at the end of a long run must exceed Q.
+  const double lambda = 5000.0;
+  const Duration te = us(30);
+  const double q = 16.0;
+  const int dstar = MD1::max_out_degree(lambda, te, q);
+  const double stable = simulate_md1(lambda, dstar, te, 7);
+  const double unstable = simulate_md1(lambda, dstar + 3, te, 7);
+  EXPECT_LE(stable, q * 1.5);
+  EXPECT_GT(unstable, q);
+}
+
+}  // namespace
+}  // namespace whale::multicast

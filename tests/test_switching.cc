@@ -1,0 +1,157 @@
+// Dynamic switching end-to-end tests (Secs. 3.3/3.4, Figs. 23/24): a rate
+// spike triggers negative scale-down through the monitor -> controller ->
+// ControlMessage/ACK protocol, and a quiet period triggers active
+// scale-up; the tree stays valid throughout.
+#include <gtest/gtest.h>
+
+#include "apps/ride_hailing_app.h"
+#include "core/engine.h"
+#include "multicast/queue_model.h"
+
+namespace whale::core {
+namespace {
+
+EngineConfig switching_cfg() {
+  EngineConfig c;
+  c.cluster.num_nodes = 10;
+  c.variant = SystemVariant::Whale();
+  c.seed = 3;
+  c.initial_dstar = 4;
+  c.executor_queue_capacity = 8192;
+  c.controller.sample_interval = ms(10);
+  c.switch_connection_setup = ms(20);
+  // Make per-child source work expensive enough that high rates force a
+  // smaller out-degree on this small cluster.
+  c.mcast_schedule_per_child = us(8);
+  return c;
+}
+
+apps::RideHailingAppParams app(dsps::RateProfile rate) {
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = 40;
+  p.aggregation_parallelism = 2;
+  p.driver_spout_parallelism = 1;
+  p.workload.match_fixed_cost = us(5);
+  p.workload.match_per_driver_cost = ns(20);
+  p.request_rate = std::move(rate);
+  p.driver_rate = dsps::RateProfile::constant(500);
+  return p;
+}
+
+TEST(Switching, RateSpikeTriggersNegativeScaleDown) {
+  // 2k tps is comfortable at d* = 4; 60k tps is not (te ~= 8.4us ->
+  // d* = 1..2). The controller must scale down within the run.
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 60000);
+  Engine e(switching_cfg(), apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(900));
+  EXPECT_GE(r.scale_downs, 1u);
+  EXPECT_GE(r.switches_completed, 1u);
+  EXPECT_LT(r.final_dstar, 4);
+  ASSERT_EQ(e.num_mcast_groups(), 1u);
+  EXPECT_EQ(e.group_tree(0).validate(e.group_dstar(0)), "");
+}
+
+TEST(Switching, QuietStreamTriggersActiveScaleUp) {
+  // Start permanently light: the empty-queue rule raises d* towards the
+  // binomial cap.
+  EngineConfig c = switching_cfg();
+  c.initial_dstar = 1;
+  auto rate = dsps::RateProfile::constant(500);
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(900));
+  EXPECT_GE(r.scale_ups, 1u);
+  EXPECT_GT(r.final_dstar, 1);
+  EXPECT_EQ(e.group_tree(0).validate(), "");
+}
+
+TEST(Switching, SwitchDelayIsBoundedByProtocol) {
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 60000);
+  EngineConfig c = switching_cfg();
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(900));
+  ASSERT_GE(r.switches_completed, 1u);
+  // Connection setup dominates: the switch cannot complete faster than one
+  // setup, and shouldn't take more than a few.
+  EXPECT_GE(r.switch_time_max, c.switch_connection_setup);
+  EXPECT_LE(r.switch_time_max, 6 * c.switch_connection_setup);
+}
+
+TEST(Switching, ThroughputRecoversAfterSpike) {
+  // Fig. 23's shape: after the rate step and the switch, the system keeps
+  // up with the new rate again (bins near the end ~= offered rate).
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 20000);
+  EngineConfig c = switching_cfg();
+  c.timeseries_bin = ms(50);
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(1400));
+  const auto& ts = r.tput_series;
+  ASSERT_GT(ts.num_bins(), 20u);
+  double tail = 0;
+  int tail_bins = 0;
+  for (size_t i = ts.num_bins() - 5; i < ts.num_bins(); ++i) {
+    tail += ts.bin_rate(i);
+    ++tail_bins;
+  }
+  EXPECT_GT(tail / tail_bins, 20000 * 0.7);
+}
+
+TEST(Switching, NoLossWhenTheoremFourHolds) {
+  // Thm. 4: no stream input loss if T_switch < (Q - q(t*)) / v_in(t*).
+  // Generous queue + fast setup: the switch must not drop arrivals. A low
+  // warning waterline makes the controller react long before Q fills.
+  EngineConfig c = switching_cfg();
+  c.executor_queue_capacity = 1 << 15;
+  c.switch_connection_setup = ms(5);
+  c.controller.warning_waterline_frac = 0.05;
+  c.controller.t_down = 0.2;
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 40000);
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(900));
+  EXPECT_GE(r.switches_completed, 1u);
+  EXPECT_EQ(r.input_drops, 0u);
+}
+
+TEST(Switching, LossWhenTheoremFourViolated) {
+  // Tiny queue + slow connection setup: the paused window overflows Q.
+  EngineConfig c = switching_cfg();
+  c.executor_queue_capacity = 256;
+  c.switch_connection_setup = ms(150);
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 60000);
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(900));
+  EXPECT_GE(r.switches_completed, 1u);
+  EXPECT_GT(r.input_drops, 0u);
+}
+
+TEST(Switching, SequentialVariantNeverSwitches) {
+  EngineConfig c = switching_cfg();
+  c.variant = SystemVariant::WhaleWocRdma();
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(300), 60000);
+  Engine e(c, apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(600));
+  EXPECT_EQ(r.scale_downs + r.scale_ups, 0u);
+  EXPECT_EQ(r.switches_completed, 0u);
+}
+
+TEST(Switching, RepeatedStepsKeepTreeValid) {
+  // Up-down-up rate staircase (the Fig. 23 scenario, compressed).
+  auto rate = dsps::RateProfile::constant(2000);
+  rate.then_at(ms(200), 50000)
+      .then_at(ms(500), 1000)
+      .then_at(ms(800), 60000)
+      .then_at(ms(1100), 2000);
+  Engine e(switching_cfg(), apps::build_ride_hailing(app(rate)).topology);
+  const auto& r = e.run(ms(100), ms(1300));
+  ASSERT_EQ(e.num_mcast_groups(), 1u);
+  EXPECT_EQ(e.group_tree(0).validate(e.group_dstar(0)), "");
+  EXPECT_GE(r.scale_downs + r.scale_ups, 2u);
+}
+
+}  // namespace
+}  // namespace whale::core

@@ -1,0 +1,285 @@
+// Workload generator and application-bolt tests: ride-hailing join
+// correctness and cost scaling, stock order-book matching, Zipf skew.
+#include <gtest/gtest.h>
+
+#include "workloads/ridehailing.h"
+#include "workloads/stock.h"
+
+namespace whale::workloads {
+namespace {
+
+dsps::TaskContext ctx(int instance, int parallelism) {
+  dsps::TaskContext c;
+  c.instance_index = instance;
+  c.parallelism = parallelism;
+  return c;
+}
+
+// --- ride hailing ------------------------------------------------------------
+
+TEST(RideHailing, SpoutsProduceWellFormedTuples) {
+  RideHailingParams p;
+  Rng rng(1);
+  DriverLocationSpout ds(p);
+  const auto d = ds.next(rng);
+  ASSERT_EQ(d.values.size(), 4u);
+  EXPECT_EQ(d.as_int(0), kDriverUpdate);
+  EXPECT_GE(d.as_int(1), 0);
+  EXPECT_LT(d.as_int(1), p.num_drivers);
+  EXPECT_GE(d.as_double(2), 0.0);
+  EXPECT_LT(d.as_double(2), p.city_km);
+
+  PassengerRequestSpout rs(p);
+  const auto r1 = rs.next(rng);
+  const auto r2 = rs.next(rng);
+  EXPECT_EQ(r1.as_int(0), kPassengerRequest);
+  EXPECT_EQ(r2.as_int(1), r1.as_int(1) + 1);  // monotone request ids
+}
+
+TEST(RideHailing, PrepareLoadsOwnedSliceOnly) {
+  RideHailingParams p;
+  p.num_drivers = 1000;
+  const int parallelism = 8;
+  size_t total = 0;
+  for (int i = 0; i < parallelism; ++i) {
+    MatchingBolt b(p);
+    b.prepare(ctx(i, parallelism));
+    total += b.stored_drivers();
+    // Roughly 1/8 of the drivers each.
+    EXPECT_GT(b.stored_drivers(), 60u);
+    EXPECT_LT(b.stored_drivers(), 250u);
+  }
+  EXPECT_EQ(total, 1000u);  // a partition: no overlap, no loss
+}
+
+TEST(RideHailing, MatchEmitsOnlyDriversWithinRadius) {
+  RideHailingParams p;
+  p.num_drivers = 0;  // start empty; insert drivers via the stream
+  p.radius_km = 1.0;
+  MatchingBolt b(p);
+  b.prepare(ctx(0, 1));
+
+  auto driver = [&](int64_t id, double x, double y) {
+    dsps::Tuple t;
+    t.values = {dsps::Value{int64_t{kDriverUpdate}}, dsps::Value{id},
+                dsps::Value{x}, dsps::Value{y}};
+    dsps::Emitter e;
+    b.execute(t, e);
+  };
+  driver(1, 10.0, 10.0);  // within 1 km of the request below
+  driver(2, 10.5, 10.0);
+  driver(3, 20.0, 20.0);  // far away
+  EXPECT_EQ(b.stored_drivers(), 3u);
+
+  dsps::Tuple req;
+  req.values = {dsps::Value{int64_t{kPassengerRequest}},
+                dsps::Value{int64_t{99}}, dsps::Value{10.0},
+                dsps::Value{10.1}};
+  dsps::Emitter e;
+  b.execute(req, e);
+  auto& out = e.take();
+  ASSERT_EQ(out.size(), 2u);
+  for (auto& [idx, m] : out) {
+    EXPECT_EQ(m.as_int(0), 99);
+    EXPECT_NE(m.as_int(1), 3);
+    EXPECT_LE(m.as_double(2), 1.0);  // squared distance <= r^2
+  }
+}
+
+TEST(RideHailing, MatchCostScalesWithSliceSize) {
+  // The modeled join time uses the balanced expected slice
+  // num_drivers / parallelism (see MatchingBolt::execute): more
+  // parallelism -> smaller slice -> cheaper join, linearly.
+  RideHailingParams p;
+  p.num_drivers = 8000;
+  MatchingBolt small(p), large(p);
+  small.prepare(ctx(0, 80));  // expected slice 100
+  large.prepare(ctx(0, 8));   // expected slice 1000
+  dsps::Tuple req;
+  req.values = {dsps::Value{int64_t{kPassengerRequest}},
+                dsps::Value{int64_t{1}}, dsps::Value{50.0},
+                dsps::Value{50.0}};
+  dsps::Emitter e1, e2;
+  const Duration c_small = small.execute(req, e1);
+  const Duration c_large = large.execute(req, e2);
+  EXPECT_GT(c_large, c_small);
+  EXPECT_EQ(c_large - c_small, p.match_per_driver_cost * (1000 - 100));
+}
+
+TEST(RideHailing, AggregationKeepsBestDriver) {
+  RideHailingParams p;
+  RideAggregationBolt agg(p);
+  auto match = [&](int64_t req, int64_t driver, double d2) {
+    dsps::Tuple t;
+    t.values = {dsps::Value{req}, dsps::Value{driver}, dsps::Value{d2}};
+    dsps::Emitter e;
+    agg.execute(t, e);
+    EXPECT_TRUE(e.take().empty());  // sink
+  };
+  match(1, 10, 0.5);
+  match(1, 11, 0.2);
+  match(1, 12, 0.9);
+  match(2, 20, 0.3);
+  EXPECT_EQ(agg.decided(), 2u);
+}
+
+// --- stock exchange ------------------------------------------------------------
+
+TEST(Stock, SpoutZipfSkew) {
+  StockParams p;
+  p.num_symbols = 100;
+  StockSpout s(p);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto t = s.next(rng);
+    const int64_t sym = t.as_int(0);
+    ASSERT_GE(sym, 0);
+    ASSERT_LT(sym, 100);
+    ++counts[static_cast<size_t>(sym)];
+  }
+  EXPECT_GT(counts[0], counts[50] * 5);  // heavy head
+}
+
+TEST(Stock, SplitFiltersStableFraction) {
+  StockParams p;
+  SplitBolt split(p, false);
+  StockSpout s(p);
+  Rng rng(6);
+  int forwarded = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    dsps::Emitter e;
+    split.execute(s.next(rng), e);
+    forwarded += static_cast<int>(e.take().size());
+  }
+  const double kept = static_cast<double>(forwarded) / n;
+  EXPECT_NEAR(kept, 1.0 - p.invalid_fraction, 0.01);
+  EXPECT_EQ(split.filtered(), static_cast<uint64_t>(n - forwarded));
+}
+
+TEST(Stock, TwoStreamSplitRoutesByType) {
+  StockParams p;
+  p.invalid_fraction = 0.0;
+  SplitBolt split(p, /*two_streams=*/true);
+  StockSpout s(p);
+  Rng rng(8);
+  int buys = 0, sells = 0;
+  for (int i = 0; i < 5000; ++i) {
+    dsps::Emitter e;
+    split.execute(s.next(rng), e);
+    for (auto& [stream, t] : e.take()) {
+      if (stream == 0) {
+        EXPECT_EQ(t.as_int(1), kBuy);
+        ++buys;
+      } else {
+        EXPECT_EQ(stream, 1u);
+        EXPECT_EQ(t.as_int(1), kSell);
+        ++sells;
+      }
+    }
+  }
+  EXPECT_GT(buys, 2000);
+  EXPECT_GT(sells, 2000);
+}
+
+dsps::Tuple order(int64_t sym, OrderType type, double price, int64_t qty) {
+  dsps::Tuple t;
+  t.values = {dsps::Value{sym}, dsps::Value{int64_t{type}},
+              dsps::Value{price}, dsps::Value{qty}};
+  return t;
+}
+
+TEST(Stock, MatchingCrossesBuyAndSell) {
+  StockParams p;
+  StockMatchingBolt b(p);
+  b.prepare(ctx(0, 1));  // owns every symbol
+  dsps::Emitter e1;
+  b.execute(order(7, kSell, 100.0, 10), e1);
+  EXPECT_TRUE(e1.take().empty());  // resting sell
+  dsps::Emitter e2;
+  b.execute(order(7, kBuy, 101.0, 4), e2);  // crosses
+  auto& trades = e2.take();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].second.as_int(0), 7);
+  EXPECT_EQ(trades[0].second.as_int(1), 4);
+  EXPECT_DOUBLE_EQ(trades[0].second.as_double(2), 100.0);  // resting price
+  EXPECT_EQ(b.open_orders(), 1u);  // 6 shares still resting
+}
+
+TEST(Stock, NonCrossingPricesRest) {
+  StockParams p;
+  StockMatchingBolt b(p);
+  b.prepare(ctx(0, 1));
+  dsps::Emitter e1, e2;
+  b.execute(order(7, kSell, 100.0, 10), e1);
+  b.execute(order(7, kBuy, 99.0, 10), e2);  // bid below ask
+  EXPECT_TRUE(e2.take().empty());
+  EXPECT_EQ(b.open_orders(), 2u);
+}
+
+TEST(Stock, PartialFillsAcrossMultipleOrders) {
+  StockParams p;
+  StockMatchingBolt b(p);
+  b.prepare(ctx(0, 1));
+  dsps::Emitter e;
+  b.execute(order(7, kSell, 100.0, 3), e);
+  b.execute(order(7, kSell, 100.0, 3), e);
+  dsps::Emitter e2;
+  b.execute(order(7, kBuy, 100.0, 5), e2);
+  auto& trades = e2.take();
+  ASSERT_EQ(trades.size(), 2u);  // consumed both resting sells
+  EXPECT_EQ(trades[0].second.as_int(1), 3);
+  EXPECT_EQ(trades[1].second.as_int(1), 2);
+  EXPECT_EQ(b.open_orders(), 1u);  // 1 share left on the second sell
+}
+
+TEST(Stock, PerOrderCostsValidationPlusBookForOwner) {
+  StockParams p;
+  p.num_symbols = 400;
+  StockMatchingBolt b(p);
+  b.prepare(ctx(0, 4));  // owns symbols where sym % 4 == 0 (100 symbols)
+  dsps::Emitter e;
+  const Duration owned = b.execute(order(4, kBuy, 50.0, 1), e);
+  const Duration foreign = b.execute(order(5, kBuy, 50.0, 1), e);
+  const Duration validation =
+      p.validation_fixed_cost + p.validation_per_symbol_cost * 100;
+  EXPECT_EQ(foreign, validation);
+  EXPECT_EQ(owned, validation + p.book_op_cost);
+  EXPECT_EQ(b.open_orders(), 1u);  // only the owned order rests
+}
+
+TEST(Stock, ValidationCostShrinksWithParallelism) {
+  // The per-order validation covers the instance's owned symbol slice, so
+  // matching gets cheaper as parallelism spreads the symbols (the stock
+  // counterpart of the ride-hailing join slice, Fig. 15's rising curve).
+  StockParams p;
+  StockMatchingBolt narrow(p), wide(p);
+  narrow.prepare(ctx(1, 8));
+  wide.prepare(ctx(1, 128));
+  dsps::Emitter e;
+  const Duration c_narrow = narrow.execute(order(5, kBuy, 10.0, 1), e);
+  const Duration c_wide = wide.execute(order(5, kBuy, 10.0, 1), e);
+  EXPECT_GT(c_narrow, c_wide);
+  EXPECT_EQ(c_narrow - c_wide,
+            p.validation_per_symbol_cost *
+                (p.num_symbols / 8 - p.num_symbols / 128));
+}
+
+TEST(Stock, VolumeAggregationAccumulates) {
+  StockParams p;
+  VolumeAggregationBolt agg(p);
+  auto trade = [&](int64_t sym, int64_t qty, double price) {
+    dsps::Tuple t;
+    t.values = {dsps::Value{sym}, dsps::Value{qty}, dsps::Value{price}};
+    dsps::Emitter e;
+    agg.execute(t, e);
+  };
+  trade(1, 10, 100.0);
+  trade(1, 5, 100.0);
+  trade(2, 1, 50.0);
+  EXPECT_DOUBLE_EQ(agg.total_volume(), 1550.0);
+}
+
+}  // namespace
+}  // namespace whale::workloads

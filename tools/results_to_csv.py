@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Convert bench outputs (results/*.txt) into per-experiment CSV files.
+
+The bench binaries print one or more tab-separated tables preceded by a
+`=== title ===` header and a `paper:` note. This script extracts every
+table into results/csv/<bench>[_<n>].csv so the series can be plotted with
+any tool.
+
+Usage: tools/results_to_csv.py [results_dir]
+"""
+import csv
+import pathlib
+import sys
+
+
+def tables_in(text: str):
+    """Yields (section_label, rows) for each tab-separated table."""
+    label = ""
+    rows = []
+    for line in text.splitlines():
+        if line.startswith("=== "):
+            label = line.strip("= ").strip()
+            continue
+        if line.startswith(("paper:", "[")):
+            if line.startswith("["):
+                if rows:
+                    yield label, rows
+                    rows = []
+                label = line.strip("[] ")
+            continue
+        if "\t" in line:
+            rows.append(line.split("\t"))
+        elif rows:
+            yield label, rows
+            rows = []
+    if rows:
+        yield label, rows
+
+
+def main() -> int:
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out = results / "csv"
+    out.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for txt in sorted(results.glob("*.txt")):
+        for i, (label, rows) in enumerate(tables_in(txt.read_text())):
+            suffix = f"_{i}" if i else ""
+            path = out / f"{txt.stem}{suffix}.csv"
+            with path.open("w", newline="") as f:
+                w = csv.writer(f)
+                if label:
+                    w.writerow([f"# {label}"])
+                w.writerows(rows)
+            written += 1
+    print(f"wrote {written} csv files to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
