@@ -1,7 +1,10 @@
 #!/bin/sh
-# Full local check: configure, build, run the test suite, and smoke the
-# bench binaries at reduced scale (every figure bench runs, just smaller
-# and shorter). Intended as the pre-merge gate.
+# Full local check: configure, build, run the test suite (plain and under
+# ASan+UBSan), and smoke the bench binaries at reduced scale (every figure
+# bench runs, just smaller and shorter). Intended as the pre-merge gate.
+#
+# Set WHALE_CHECK_SANITIZE=0 to skip the sanitizer pass (it roughly
+# doubles the wall time of the test suite).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,6 +12,19 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Sanitizer pass: the whole suite again under AddressSanitizer +
+# UndefinedBehaviorSanitizer in a separate build tree. The engine is all
+# callback graphs over shared runtime state — exactly the code shape where
+# lifetime bugs hide — so the fault/recovery paths especially want this.
+if [ "${WHALE_CHECK_SANITIZE:-1}" = "1" ]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure
+fi
 
 # Reduced-scale bench smoke: ~1/8 of the paper's parallelism, 80 ms
 # windows. This checks that every experiment binary runs end to end, not

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/time.h"
+#include "faults/plan.h"
 #include "multicast/controller.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -64,6 +65,15 @@ struct EngineConfig {
   // "fully processed" completion signal and at-least-once failure counts.
   bool enable_acking = false;
   Duration ack_timeout = sec(30);
+
+  // Fault injection: scripted node crashes / link degradations / relay
+  // stalls, executed by a FaultInjector armed at engine start. Empty plan
+  // = no faults. Requires enable_acking for replay to have any effect.
+  faults::FaultPlan faults;
+  // Replay timed-out / failed roots from the spout (at-least-once across
+  // crashes). Each root is retried at most max_replays_per_root times.
+  bool replay_on_failure = false;
+  int max_replays_per_root = 3;
 
   uint64_t seed = 42;
 

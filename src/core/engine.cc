@@ -17,6 +17,29 @@ enum CtrlType : uint8_t { kStatus = 0, kReconfigure = 1 };
 
 constexpr uint64_t kMaxTrackedTuples = 1 << 20;
 
+// Asynchronous self-continuation without a reference cycle. `body` is
+// invoked with a copyable `next` callable; calling next() (directly or
+// from a scheduled/queued continuation) runs another iteration. The body
+// lives on the heap owned by the next-tokens in flight, so the whole
+// chain frees itself as soon as no continuation holds it — unlike the
+// `shared_ptr<function> captures itself` idiom, which forms a cycle and
+// leaks every chain ever started.
+template <typename Body>
+void loop_async(Body body_in) {
+  struct State {
+    explicit State(Body b) : body(std::move(b)) {}
+    Body body;
+  };
+  struct Next {
+    std::shared_ptr<State> st;
+    void operator()() const {
+      auto keep = st;  // the body may drop the last external reference
+      keep->body(Next{keep});
+    }
+  };
+  Next{std::make_shared<State>(std::move(body_in))}();
+}
+
 }  // namespace
 
 Engine::Engine(EngineConfig cfg, dsps::Topology topo)
@@ -307,26 +330,37 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
   if (cfg_.enable_acking) {
     acker_.set_on_complete([this](uint64_t root, Time emit) {
       pending_edges_.erase(root);
+      auto rit = replays_.find(root);
+      const bool was_replayed =
+          rit != replays_.end() && rit->second.attempts > 0;
+      if (rit != replays_.end()) replays_.erase(rit);
       if (in_window()) {
         ++report_.acked_roots;
         report_.ack_latency.add(sim_.now() - emit);
+        if (was_replayed) ++report_.replay_completions;
       }
     });
     acker_.set_on_fail([this](uint64_t root) {
       pending_edges_.erase(root);
       if (in_window()) ++report_.failed_roots;
+      maybe_replay(root);
     });
-    auto sweep = std::make_shared<std::function<void()>>();
-    *sweep = [this, sweep] {
-      acker_.expire_older_than(sim_.now() - cfg_.ack_timeout);
-      if (sim_.now() < window_end_) sim_.schedule_after(sec(1), *sweep);
-    };
-    sim_.schedule_after(sec(1), *sweep);
+    // Sweep often enough that short timeouts (crash-recovery tests) detect
+    // losses promptly, but never more than once per millisecond-scale tick.
+    const Duration period = std::min<Duration>(
+        sec(1), std::max<Duration>(ms(10), cfg_.ack_timeout / 4));
+    loop_async([this, period](auto next) {
+      sim_.schedule_after(period, [this, next] {
+        acker_.expire_older_than(sim_.now() - cfg_.ack_timeout);
+        if (sim_.now() < window_end_) next();
+      });
+    });
   }
 
   for (auto& t : tasks_) {
     if (t->spout) schedule_arrival(t->id);
   }
+  arm_faults();
   start_monitoring();
   sim_.schedule_at(window_start_, [this] { snapshot_at_window_start(); });
 
@@ -353,31 +387,29 @@ void Engine::start_monitoring() {
   // controllers (cfg_.controller.sample_interval).
   if (primary_src_task_ >= 0 || !tasks_.empty()) {
     const int src = primary_src_task_ >= 0 ? primary_src_task_ : 0;
-    auto sample = std::make_shared<std::function<void()>>();
-    *sample = [this, src, sample] {
-      if (in_window()) {
-        const auto& q = *tasks_[static_cast<size_t>(src)]->in_queue;
-        queue_len_accum_ += static_cast<double>(q.size());
-        ++queue_samples_;
-        report_.transfer_queue_max =
-            std::max(report_.transfer_queue_max, q.size());
-      }
-      if (sim_.now() < window_end_) sim_.schedule_after(ms(1), *sample);
-    };
-    sim_.schedule_after(ms(1), *sample);
+    loop_async([this, src](auto next) {
+      sim_.schedule_after(ms(1), [this, src, next] {
+        if (in_window()) {
+          const auto& q = *tasks_[static_cast<size_t>(src)]->in_queue;
+          queue_len_accum_ += static_cast<double>(q.size());
+          ++queue_samples_;
+          report_.transfer_queue_max =
+              std::max(report_.transfer_queue_max, q.size());
+        }
+        if (sim_.now() < window_end_) next();
+      });
+    });
   }
 
   for (auto& gp : groups_) {
     if (!gp->controller) continue;
     McastGroup* g = gp.get();
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, g, tick] {
-      controller_sample(*g);
-      if (sim_.now() < window_end_) {
-        sim_.schedule_after(cfg_.controller.sample_interval, *tick);
-      }
-    };
-    sim_.schedule_after(cfg_.controller.sample_interval, *tick);
+    loop_async([this, g](auto next) {
+      sim_.schedule_after(cfg_.controller.sample_interval, [this, g, next] {
+        controller_sample(*g);
+        if (sim_.now() < window_end_) next();
+      });
+    });
   }
 }
 
@@ -457,6 +489,21 @@ void Engine::finalize_report(Duration measure) {
       report_.final_dstar = g->controller->dstar();
     }
   }
+
+  report_.fabric_messages_dropped = fabric_->messages_dropped();
+  report_.fabric_bytes_dropped = fabric_->bytes_dropped();
+  report_.tuples_lost = tuples_lost_;
+  for (const auto& wp : workers_) {
+    for (const auto& qp : wp->data_qps) {
+      if (qp) report_.tuples_lost += qp->packets_lost();
+    }
+    for (const auto& qp : wp->ctrl_qps) {
+      if (qp) report_.tuples_lost += qp->packets_lost();
+    }
+    // Nodes still down at the end of the run contribute their residual.
+    if (wp->down) report_.downtime_total += sim_.now() - wp->down_since;
+  }
+
   report_.sim_events = sim_.events_processed();
 }
 
@@ -477,6 +524,12 @@ void Engine::schedule_arrival(int task) {
   const Duration gap = from_seconds(rng_.exponential(rate));
   sim_.schedule_after(gap, [this, task] {
     auto& tk = *tasks_[static_cast<size_t>(task)];
+    if (workers_[static_cast<size_t>(tk.worker)]->down) {
+      // Crashed worker emits nothing; keep polling so the spout resumes
+      // after a restart.
+      if (sim_.now() < window_end_) schedule_arrival(task);
+      return;
+    }
     auto tuple = std::make_shared<dsps::Tuple>(tk.spout->next(rng_));
     auto* mut = const_cast<dsps::Tuple*>(tuple.get());
     mut->root_id = next_root_id_++;
@@ -484,6 +537,9 @@ void Engine::schedule_arrival(int task) {
     if (in_window()) ++report_.roots_emitted;
     if (cfg_.enable_acking) {
       acker_.root_emitted(mut->root_id, sim_.now());
+      if (cfg_.replay_on_failure && replays_.size() < kMaxTrackedTuples) {
+        replays_.emplace(mut->root_id, ReplayState{*tuple, task, 0});
+      }
     }
     if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
       if (in_window()) ++report_.input_drops;
@@ -501,6 +557,7 @@ void Engine::schedule_arrival(int task) {
 
 void Engine::pump_task(TaskRt& t) {
   if (t.processing) return;
+  if (workers_[static_cast<size_t>(t.worker)]->down) return;
   auto item = t.in_queue->try_pop();
   if (!item) return;
   t.processing = true;
@@ -592,9 +649,9 @@ void Engine::route_emissions(
       std::make_shared<std::vector<std::pair<size_t, dsps::Tuple>>>(
           std::move(emissions));
   auto idx = std::make_shared<size_t>(0);
-  auto step = std::make_shared<std::function<void()>>();
   TaskRt* traw = &t;
-  *step = [this, traw, remaining, idx, step, done = std::move(done)] {
+  loop_async([this, traw, remaining, idx,
+              done = std::move(done)](auto next) {
     if (*idx >= remaining->size()) {
       done();
       return;
@@ -603,13 +660,12 @@ void Engine::route_emissions(
     ++*idx;
     const auto& op = topo_.ops[static_cast<size_t>(traw->op)];
     if (out_idx >= op.out_streams.size()) {
-      (*step)();  // emission on a nonexistent stream: drop silently
+      next();  // emission on a nonexistent stream: drop silently
       return;
     }
     const int stream = op.out_streams[out_idx];
-    send_emission(*traw, std::move(tuple), stream, [step] { (*step)(); });
-  };
-  (*step)();
+    send_emission(*traw, std::move(tuple), stream, [next] { next(); });
+  });
 }
 
 void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
@@ -661,6 +717,11 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
 
 void Engine::deliver_local(TaskRt& dst,
                            std::shared_ptr<const dsps::Tuple> tup) {
+  if (workers_[static_cast<size_t>(dst.worker)]->down) {
+    // No NACK from a dead worker: the loss surfaces as an ack timeout.
+    ++tuples_lost_;
+    return;
+  }
   // All-grouped deliveries feed the multicast-reception tracker.
   const auto& s = topo_.streams[tup->stream];
   if (s.grouping == dsps::Grouping::kAll) {
@@ -750,9 +811,8 @@ void Engine::send_point_to_point(TaskRt& t,
       // charged to the upstream instance, matching Fig. 2d's breakdown.
       auto idx = std::make_shared<size_t>(0);
       auto rem = std::make_shared<std::vector<int>>(std::move(remote));
-      auto step = std::make_shared<std::function<void()>>();
-      *step = [this, traw, tup, idx, rem, step, track_root,
-               done = std::move(done), &w]() mutable {
+      loop_async([this, traw, tup, idx, rem, track_root,
+                  done = std::move(done), &w](auto next) {
         if (*idx >= rem->size()) {
           done();
           return;
@@ -769,22 +829,21 @@ void Engine::send_point_to_point(TaskRt& t,
         }
         traw->cpu->execute(
             ser, sim::CpuCategory::kSerialization,
-            [this, traw, bytes = std::move(bytes), d, step, track_root, &w] {
+            [this, traw, bytes = std::move(bytes), d, next, track_root, &w] {
               const auto [send_cost, send_cat] = source_send_cost(
                   bytes->size());
               traw->cpu->execute(
                   send_cost, send_cat,
-                  [this, bytes = std::move(bytes), d, step, track_root, &w] {
+                  [this, bytes = std::move(bytes), d, next, track_root, &w] {
                     OutMsg m;
                     m.bytes = std::move(bytes);
                     m.dst_worker = tasks_[static_cast<size_t>(d)]->worker;
                     m.enqueued = sim_.now();
                     m.root_id = track_root;
-                    push_out(w, std::move(m), [step] { (*step)(); });
+                    push_out(w, std::move(m), [next] { next(); });
                   });
             });
-      };
-      (*step)();
+      });
       return;
     }
 
@@ -818,9 +877,8 @@ void Engine::send_point_to_point(TaskRt& t,
       }
     }
     auto idx = std::make_shared<size_t>(0);
-    auto step = std::make_shared<std::function<void()>>();
-    *step = [this, traw, targets, idx, step, first_ser, track_root,
-             done = std::move(done), &w]() mutable {
+    loop_async([this, traw, targets, idx, first_ser, track_root,
+                done = std::move(done), &w](auto next) {
       if (*idx >= targets->size()) {
         done();
         return;
@@ -831,22 +889,21 @@ void Engine::send_point_to_point(TaskRt& t,
       const Duration d = (*idx == 1) ? first_ser : cfg_.woc_header_cost;
       traw->cpu->execute(
           d, sim::CpuCategory::kSerialization,
-          [this, traw, &tgt, step, track_root, &w] {
+          [this, traw, &tgt, next, track_root, &w] {
             const auto [send_cost, send_cat] =
                 source_send_cost(tgt.bytes->size());
             traw->cpu->execute(send_cost, send_cat,
-                               [this, &tgt, step, track_root, &w] {
+                               [this, &tgt, next, track_root, &w] {
                                  OutMsg m;
                                  m.bytes = tgt.bytes;
                                  m.dst_worker = tgt.worker;
                                  m.enqueued = sim_.now();
                                  m.root_id = track_root;
                                  push_out(w, std::move(m),
-                                          [step] { (*step)(); });
+                                          [next] { next(); });
                                });
           });
-    };
-    (*step)();
+    });
   };
 
   if (local_count > 0) {
@@ -926,7 +983,6 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
     // charge per child (the d0 * t_d term of the queue model).
     const auto children = graw->tree.children(0);
     auto idx = std::make_shared<size_t>(0);
-    auto step = std::make_shared<std::function<void()>>();
     auto ct = comm_tracks_.find(root);
     if (ct != comm_tracks_.end()) {
       if (children.empty()) {
@@ -935,8 +991,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
         ct->second.outstanding = static_cast<uint32_t>(children.size());
       }
     }
-    *step = [this, traw, graw, root, tracked, body, idx, step, children,
-             done = std::move(done), &w]() mutable {
+    loop_async([this, traw, graw, root, tracked, body, idx, children,
+                done = std::move(done), &w](auto next) {
       if (*idx >= children.size()) {
         done();
         return;
@@ -947,7 +1003,7 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
       // that makes large out-degrees choke the source (Eq. 1).
       const auto [send_cost, send_cat] = source_send_cost(body.size());
       traw->cpu->execute(cfg_.mcast_schedule_per_child + send_cost, send_cat,
-          [this, graw, root, tracked, body, child_ep, step, &w] {
+          [this, graw, root, tracked, body, child_ep, next, &w] {
             OutMsg m;
             const int ep_field = graw->worker_level ? 0 : child_ep;
             {
@@ -965,18 +1021,23 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
                                : tasks_[static_cast<size_t>(ep)]->worker;
             m.enqueued = sim_.now();
             m.root_id = tracked ? root : 0;
-            push_out(w, std::move(m), [step] { (*step)(); });
+            push_out(w, std::move(m), [next] { next(); });
           });
-    };
-    (*step)();
+    });
   });
 }
 
 void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
   WorkerRt* wr = &w;
   auto m = std::make_shared<OutMsg>(std::move(msg));
-  auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, wr, m, attempt, done = std::move(done)]() mutable {
+  loop_async([this, wr, m, done = std::move(done)](auto next) {
+    if (wr->down) {
+      // The producing worker died (possibly while blocked on a full
+      // queue): the message is lost but the executor chain must unwind.
+      ++tuples_lost_;
+      done();
+      return;
+    }
     if (wr->transfer_queue->try_push(*m)) {
       pump_worker(*wr);
       done();
@@ -984,9 +1045,8 @@ void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
     }
     // Queue full: Storm-style backpressure — the producer stalls until the
     // send loop frees a slot.
-    wr->transfer_queue->wait_for_space([attempt] { (*attempt)(); });
-  };
-  (*attempt)();
+    wr->transfer_queue->wait_for_space([next] { next(); });
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -995,6 +1055,7 @@ void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
 
 void Engine::pump_worker(WorkerRt& w) {
   if (w.sending || w.paused || w.pump_waiting) return;
+  if (w.down || w.stalled) return;
   if (w.transfer_queue->empty()) return;
 
   // Under the optimized RDMA transport, a blocked slicing buffer (ring
@@ -1031,6 +1092,13 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
     wr->sending = false;
     pump_worker(*wr);
   };
+  if (workers_[static_cast<size_t>(msg.dst_worker)]->down) {
+    // The connection to a crashed peer is in error state: the send fails
+    // and the message is dropped (the ack timeout recovers the root).
+    ++tuples_lost_;
+    resume();
+    return;
+  }
   const uint64_t sz = msg.bytes->size();
   rdma::Packet pkt{msg.bytes, msg.enqueued, msg.root_id};
   const int dst_worker = msg.dst_worker;
@@ -1077,15 +1145,13 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
               auto& qp = data_qp(wr->id, dst_worker);
               auto b = std::make_shared<rdma::Bundle>();
               b->push_back(std::move(pkt));
-              auto attempt = std::make_shared<std::function<void()>>();
-              *attempt = [&qp, b, attempt, resume]() {
+              loop_async([&qp, b, resume](auto next) {
                 if (qp.transmit(*b)) {
                   resume();
                 } else {
-                  qp.wait_for_space([attempt] { (*attempt)(); });
+                  qp.wait_for_space([next] { next(); });
                 }
-              };
-              (*attempt)();
+              });
             });
         break;
       }
@@ -1107,6 +1173,12 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
 // ---------------------------------------------------------------------------
 
 void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
+  if (w.down) {
+    // In-flight delivery racing a crash: the process it was addressed to
+    // no longer exists.
+    ++tuples_lost_;
+    return;
+  }
   const Envelope env = peek(*pkt.bytes);
   switch (env.kind) {
     case MsgKind::kInstanceData:
@@ -1133,7 +1205,7 @@ void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
       handle_control(w, std::move(pkt));
       break;
     case MsgKind::kAck:
-      handle_ack(env.group);
+      handle_ack(env.group, src_worker);
       break;
   }
 }
@@ -1297,7 +1369,8 @@ void Engine::comm_track_delivery(uint64_t root_id) {
 // ---------------------------------------------------------------------------
 
 void Engine::controller_sample(McastGroup& g) {
-  if (!g.controller || g.switching) return;
+  if (!g.controller || g.switching || g.repairing) return;
+  if (workers_[static_cast<size_t>(g.src_worker)]->down) return;
   auto& src = *tasks_[static_cast<size_t>(g.src_task)];
   const double lambda = g.stream_monitor->rate_tps(sim_.now());
   const Duration td = g.td_monitor.has_estimate()
@@ -1361,27 +1434,31 @@ void Engine::begin_switch(McastGroup& g,
     const int ep = g.endpoints[static_cast<size_t>(mv.node)];
     const int wk =
         g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
-    // Reconfigure messages carry ctype = kReconfigure in the payload.
-    auto& w = *workers_[static_cast<size_t>(g.src_worker)];
-    ByteWriter hw(16);
-    hw.put_u8(static_cast<uint8_t>(MsgKind::kControl));
-    hw.put_varint(g.id);
-    hw.put_u8(kReconfigure);
-    auto v = hw.take();
-    v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
-    rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
-    if (cfg_.variant.rdma()) {
-      ctrl_qp(g.src_worker, wk).transmit(rdma::Bundle{std::move(pkt)});
-    } else {
-      auto& dw = *workers_[static_cast<size_t>(wk)];
-      WorkerRt* draw = &dw;
-      const int srcw = g.src_worker;
-      fabric_->transmit(net::Transport::kTcp, w.node, dw.node,
-                        pkt.bytes->size(),
-                        [this, draw, srcw, pkt = std::move(pkt)]() mutable {
-                          handle_bytes(*draw, std::move(pkt), srcw);
-                        });
-    }
+    send_reconfigure(g, wk);
+  }
+}
+
+void Engine::send_reconfigure(McastGroup& g, int dst_worker) {
+  // Reconfigure messages carry ctype = kReconfigure in the payload.
+  auto& w = *workers_[static_cast<size_t>(g.src_worker)];
+  ByteWriter hw(16);
+  hw.put_u8(static_cast<uint8_t>(MsgKind::kControl));
+  hw.put_varint(g.id);
+  hw.put_u8(kReconfigure);
+  auto v = hw.take();
+  v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
+  rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
+  if (cfg_.variant.rdma()) {
+    ctrl_qp(g.src_worker, dst_worker).transmit(rdma::Bundle{std::move(pkt)});
+  } else {
+    auto& dw = *workers_[static_cast<size_t>(dst_worker)];
+    WorkerRt* draw = &dw;
+    const int srcw = g.src_worker;
+    fabric_->transmit(net::Transport::kTcp, w.node, dw.node,
+                      pkt.bytes->size(),
+                      [this, draw, srcw, pkt = std::move(pkt)]() mutable {
+                        handle_bytes(*draw, std::move(pkt), srcw);
+                      });
   }
 }
 
@@ -1420,6 +1497,7 @@ void Engine::handle_control(WorkerRt& w, rdma::Packet pkt) {
   // (QP creation + handshake), then ACKs to the source.
   WorkerRt* wr = &w;
   sim_.schedule_after(cfg_.switch_connection_setup, [this, wr, group] {
+    if (wr->down) return;  // crashed while establishing the connection
     auto& gg = *groups_[group];
     ByteWriter hw(8);
     hw.put_u8(static_cast<uint8_t>(MsgKind::kAck));
@@ -1441,10 +1519,275 @@ void Engine::handle_control(WorkerRt& w, rdma::Packet pkt) {
   (void)g;
 }
 
-void Engine::handle_ack(uint32_t group) {
+void Engine::handle_ack(uint32_t group, int src_worker) {
   auto& g = *groups_[group];
+  // Repair ACKs are attributed to the worker that sent them, so a crashed
+  // worker's missing ACK can be written off (on_node_crash) instead of
+  // wedging the repair with the source paused forever.
+  if (g.repairing) {
+    auto& pw = g.repair_pending_workers;
+    auto it = std::find(pw.begin(), pw.end(), src_worker);
+    if (it != pw.end()) {
+      pw.erase(it);
+      ++g.repair_acks_got;
+      if (g.repair_acks_got >= g.repair_acks_needed) finish_repair(g);
+      return;
+    }
+  }
   if (!g.switching) return;
   if (++g.acks_got >= g.acks_needed) finish_switch(g);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & recovery
+// ---------------------------------------------------------------------------
+
+void Engine::arm_faults() {
+  if (cfg_.faults.empty()) return;
+  faults::FaultHooks h;
+  h.crash_node = [this](int n) { on_node_crash(n); };
+  h.restart_node = [this](int n) { on_node_restart(n); };
+  h.degrade_link = [this](const faults::LinkFault& lf) {
+    ++report_.link_faults;
+    fabric_->degrade_link(lf.src, lf.dst, lf.bandwidth_factor,
+                          lf.latency_factor);
+  };
+  h.restore_link = [this](const faults::LinkFault& lf) {
+    fabric_->restore_link(lf.src, lf.dst);
+  };
+  h.stall_relay = [this](int n) {
+    ++report_.relay_stalls;
+    workers_[static_cast<size_t>(n)]->stalled = true;
+  };
+  h.unstall_relay = [this](int n) {
+    auto& w = *workers_[static_cast<size_t>(n)];
+    w.stalled = false;
+    pump_worker(w);
+  };
+  injector_ = std::make_unique<faults::FaultInjector>(sim_, cfg_.faults,
+                                                      std::move(h));
+  injector_->arm();
+}
+
+void Engine::reset_qps_touching(int node) {
+  // A crash (or a restart, which comes back as a fresh process) tears down
+  // every queue pair whose peer is `node`, on both sides: buffered ring
+  // contents are lost, wedged READ fetch loops are released, and blocked
+  // producers retry against empty rings.
+  for (auto& wp : workers_) {
+    auto& w = *wp;
+    if (w.id == node) {
+      for (auto& qp : w.data_qps) {
+        if (qp) qp->reset();
+      }
+      for (auto& qp : w.ctrl_qps) {
+        if (qp) qp->reset();
+      }
+    } else {
+      if (w.data_qps[static_cast<size_t>(node)]) {
+        w.data_qps[static_cast<size_t>(node)]->reset();
+      }
+      if (w.ctrl_qps[static_cast<size_t>(node)]) {
+        w.ctrl_qps[static_cast<size_t>(node)]->reset();
+      }
+    }
+  }
+}
+
+void Engine::on_node_crash(int node) {
+  auto& w = *workers_[static_cast<size_t>(node)];
+  if (w.down) return;
+  ++report_.node_crashes;
+  w.down = true;
+  w.down_since = sim_.now();
+  w.sending = false;
+  w.pump_waiting = false;
+  w.stalled = false;
+  fabric_->set_node_up(node, false);
+  // The process is gone: everything queued inside it is lost. The acker's
+  // timeout turns those losses into failed (and possibly replayed) roots —
+  // there is no explicit NACK, exactly like a real worker death.
+  while (w.transfer_queue->try_pop()) ++tuples_lost_;
+  for (auto& t : tasks_) {
+    if (t->worker != node) continue;
+    while (t->in_queue->try_pop()) ++tuples_lost_;
+    t->processing = false;
+  }
+  reset_qps_touching(node);
+  for (auto& gp : groups_) {
+    auto& g = *gp;
+    if (g.src_worker == node) {
+      // The group's source died: abandon any in-flight negotiation (its
+      // state lived in the dead process).
+      if (g.switching) {
+        g.switching = false;
+        g.pending_tree.reset();
+        if (g.controller) g.controller->abort_switch();
+      }
+      g.repairing = false;
+      g.repair_queue.clear();
+      g.repair_pending_workers.clear();
+      continue;
+    }
+    // Excise the dead node from the dissemination tree.
+    if (g.worker_level) {
+      const int ep = g.endpoint_index[static_cast<size_t>(node)];
+      if (ep > 0) on_endpoint_crash(g, ep);
+    } else {
+      for (size_t e = 1; e < g.endpoints.size(); ++e) {
+        const int task = g.endpoints[e];
+        if (tasks_[static_cast<size_t>(task)]->worker == node) {
+          on_endpoint_crash(g, static_cast<int>(e));
+        }
+      }
+    }
+    // A worker that owed a repair ACK will never send it.
+    if (g.repairing) {
+      auto& pw = g.repair_pending_workers;
+      auto it = std::find(pw.begin(), pw.end(), node);
+      if (it != pw.end()) {
+        pw.erase(it);
+        if (g.repair_acks_needed > 0) --g.repair_acks_needed;
+        if (g.repair_acks_got >= g.repair_acks_needed) finish_repair(g);
+      }
+    }
+  }
+}
+
+void Engine::on_node_restart(int node) {
+  auto& w = *workers_[static_cast<size_t>(node)];
+  if (!w.down) return;
+  ++report_.node_restarts;
+  report_.downtime_total += sim_.now() - w.down_since;
+  w.down = false;
+  w.paused = false;  // any pause it owed died with the old process
+  fabric_->set_node_up(node, true);
+  // Fresh process: peers re-create their queue pairs empty.
+  reset_qps_touching(node);
+  // Rejoin every multicast tree as a leaf at the shallowest open slot.
+  for (auto& gp : groups_) {
+    auto& g = *gp;
+    if (g.worker_level) {
+      const int ep = g.endpoint_index[static_cast<size_t>(node)];
+      if (ep > 0 && g.tree.removed(ep)) g.tree.restore(ep, repair_dstar(g));
+    } else {
+      for (size_t e = 1; e < g.endpoints.size(); ++e) {
+        const int task = g.endpoints[e];
+        if (tasks_[static_cast<size_t>(task)]->worker == node &&
+            g.tree.removed(static_cast<int>(e))) {
+          g.tree.restore(static_cast<int>(e), repair_dstar(g));
+        }
+      }
+    }
+  }
+  pump_worker(w);
+}
+
+int Engine::repair_dstar(const McastGroup& g) const {
+  // Cap repairs at the controller's current d*; without a controller keep
+  // the tree's existing shape (sequential trees re-attach under the source,
+  // binomial trees keep their widest degree).
+  if (g.controller) return g.controller->dstar();
+  return std::max(1, g.tree.max_out_degree());
+}
+
+void Engine::on_endpoint_crash(McastGroup& g, int dead_ep) {
+  // A switch negotiated with the cluster as it was can no longer complete
+  // (the dead endpoint may owe an ACK): abort it and let the controller
+  // re-evaluate once the repair settles.
+  if (g.switching) {
+    g.switching = false;
+    g.pending_tree.reset();
+    if (g.controller) g.controller->abort_switch();
+    auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
+    sw.paused = false;
+  }
+  if (g.tree.removed(dead_ep)) return;
+  g.repair_queue.push_back(dead_ep);
+  maybe_start_repair(g);
+}
+
+void Engine::maybe_start_repair(McastGroup& g) {
+  if (g.repairing || g.repair_queue.empty()) return;
+  const int dead_ep = g.repair_queue.front();
+  g.repair_queue.erase(g.repair_queue.begin());
+  if (g.tree.removed(dead_ep)) {
+    maybe_start_repair(g);
+    return;
+  }
+  // The tree is patched immediately (the source must not keep relaying into
+  // a dead connection); the control/ACK exchange below models the time the
+  // orphaned subtrees need to re-establish their upstream connections,
+  // during which the source is paused — the same v_out -> 0 window as a
+  // dynamic switch.
+  const auto moves = g.tree.repair(dead_ep, repair_dstar(g));
+  ++report_.tree_repairs;
+  report_.repair_moves += moves.size();
+  g.repair_start = sim_.now();
+  g.repair_acks_needed = 0;
+  g.repair_acks_got = 0;
+  g.repair_pending_workers.clear();
+  for (const auto& mv : moves) {
+    const int ep = g.endpoints[static_cast<size_t>(mv.node)];
+    const int wk =
+        g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
+    if (workers_[static_cast<size_t>(wk)]->down) continue;  // dead too
+    ++g.repair_acks_needed;
+    g.repair_pending_workers.push_back(wk);
+  }
+  g.repairing = true;
+  if (g.repair_acks_needed == 0) {
+    // Leaf crash (or every orphan dead): nothing to renegotiate.
+    finish_repair(g);
+    return;
+  }
+  auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
+  if (!sw.down) sw.paused = true;
+  for (int wk : g.repair_pending_workers) send_reconfigure(g, wk);
+}
+
+void Engine::finish_repair(McastGroup& g) {
+  g.repairing = false;
+  const Duration took = sim_.now() - g.repair_start;
+  report_.repair_time_total += took;
+  report_.repair_time_max = std::max(report_.repair_time_max, took);
+  auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
+  if (!sw.down) {
+    sw.paused = false;
+    pump_worker(sw);
+  }
+  maybe_start_repair(g);
+}
+
+void Engine::maybe_replay(uint64_t root) {
+  if (!cfg_.replay_on_failure) return;
+  auto it = replays_.find(root);
+  if (it == replays_.end()) return;
+  const int task = it->second.task;
+  auto& tk = *tasks_[static_cast<size_t>(task)];
+  if (workers_[static_cast<size_t>(tk.worker)]->down) {
+    // The spout's own worker is down; try again once it may be back.
+    if (sim_.now() < window_end_) {
+      sim_.schedule_after(ms(50), [this, root] { maybe_replay(root); });
+    }
+    return;
+  }
+  if (it->second.attempts >= cfg_.max_replays_per_root) {
+    ++report_.replays_exhausted;
+    replays_.erase(it);
+    return;
+  }
+  ++it->second.attempts;
+  auto tuple = std::make_shared<dsps::Tuple>(it->second.tuple);
+  tuple->root_id = root;
+  tuple->root_emit_time = sim_.now();
+  ++report_.replayed_roots;
+  acker_.root_emitted(root, sim_.now());
+  if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
+    // Spout queue full: fail again, which re-enters maybe_replay (bounded
+    // by max_replays_per_root).
+    acker_.fail(root);
+  }
 }
 
 void Engine::finish_switch(McastGroup& g) {

@@ -25,6 +25,7 @@
 #include "core/slicing.h"
 #include "dsps/acker.h"
 #include "dsps/topology.h"
+#include "faults/injector.h"
 #include "multicast/controller.h"
 #include "multicast/tree.h"
 #include "net/fabric.h"
@@ -105,6 +106,9 @@ class Engine {
     bool sending = false;        // send loop holds one message in flight
     bool paused = false;         // dynamic switching pauses the source
     bool pump_waiting = false;   // subscribed to a blocked slicer
+    bool down = false;           // crashed (fault injection)
+    bool stalled = false;        // send loop frozen (relay stall fault)
+    Time down_since = 0;
     // Indexed by destination worker; created lazily.
     std::vector<std::unique_ptr<rdma::QueuePair>> data_qps;
     std::vector<std::unique_ptr<rdma::QueuePair>> ctrl_qps;
@@ -141,6 +145,15 @@ class Engine {
     std::optional<multicast::MulticastTree> pending_tree;
     size_t acks_needed = 0;
     size_t acks_got = 0;
+
+    // In-flight tree repair after an endpoint crash. Repairs serialize per
+    // group: further crashes queue until the current repair is ACKed.
+    bool repairing = false;
+    Time repair_start = 0;
+    size_t repair_acks_needed = 0;
+    size_t repair_acks_got = 0;
+    std::vector<int> repair_pending_workers;  // workers owing a repair ACK
+    std::vector<int> repair_queue;            // dead endpoints awaiting repair
   };
 
   // Per-root-tuple multicast reception tracking (drives the multicast
@@ -212,10 +225,24 @@ class Engine {
   void begin_switch(McastGroup& g,
                     multicast::SelfAdjustingController::Decision d);
   void handle_control(WorkerRt& w, rdma::Packet pkt);
-  void handle_ack(uint32_t group);
+  void handle_ack(uint32_t group, int src_worker);
   void finish_switch(McastGroup& g);
   void send_control(int src_worker, int dst_worker, uint32_t group,
                     MsgKind kind);
+  // Reconfigure message (ctype = kReconfigure): the recipient establishes
+  // its new upstream connection and ACKs. Used by switching and repair.
+  void send_reconfigure(McastGroup& g, int dst_worker);
+
+  // --- fault injection & recovery -------------------------------------------
+  void arm_faults();
+  void reset_qps_touching(int node);
+  void on_node_crash(int node);
+  void on_node_restart(int node);
+  void on_endpoint_crash(McastGroup& g, int dead_ep);
+  void maybe_start_repair(McastGroup& g);
+  void finish_repair(McastGroup& g);
+  int repair_dstar(const McastGroup& g) const;
+  void maybe_replay(uint64_t root);
 
   // --- metrics ----------------------------------------------------------------
   bool in_window() const {
@@ -240,6 +267,16 @@ class Engine {
   std::unordered_map<uint64_t, McastTrack> mcast_tracks_;
   std::unordered_map<uint64_t, CommTrack> comm_tracks_;
   dsps::AckerLedger acker_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  // Spout-side replay buffer (at-least-once across crashes): the root tuple
+  // is kept until the acker confirms or replays are exhausted.
+  struct ReplayState {
+    dsps::Tuple tuple;
+    int task = 0;
+    int attempts = 0;
+  };
+  std::unordered_map<uint64_t, ReplayState> replays_;
+  uint64_t tuples_lost_ = 0;
   uint64_t next_ack_edge_ = 1;
   // Edges are anchored at EMISSION time (Storm semantics — otherwise the
   // ledger would transiently zero while messages are on the wire) and

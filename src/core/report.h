@@ -76,6 +76,23 @@ struct RunReport {
   TimeSeries lat_sum_series{ms(20)};  // sum of processing latency (ns)
   TimeSeries lat_cnt_series{ms(20)};
 
+  // --- faults & recovery ----------------------------------------------------
+  uint64_t node_crashes = 0;
+  uint64_t node_restarts = 0;
+  uint64_t link_faults = 0;
+  uint64_t relay_stalls = 0;
+  uint64_t fabric_messages_dropped = 0;  // transmissions eaten by dead
+  uint64_t fabric_bytes_dropped = 0;     // nodes / partitioned links
+  uint64_t tuples_lost = 0;       // dropped at dead workers / reset QPs
+  uint64_t replayed_roots = 0;    // spout re-emissions after ack failure
+  uint64_t replay_completions = 0;  // replayed roots that finished acking
+  uint64_t replays_exhausted = 0;   // roots that hit max_replays_per_root
+  uint64_t tree_repairs = 0;        // multicast tree repair rounds
+  uint64_t repair_moves = 0;        // endpoints re-parented across repairs
+  Duration repair_time_total = 0;   // crash detection -> repair ACKed
+  Duration repair_time_max = 0;
+  Duration downtime_total = 0;      // sum of per-node down intervals
+
   // --- meta ----------------------------------------------------------------
   uint64_t sim_events = 0;
 
@@ -90,6 +107,58 @@ struct RunReport {
                ? to_millis(switch_time_total) /
                      static_cast<double>(switches_completed)
                : 0.0;
+  }
+  double repair_time_avg_ms() const {
+    return tree_repairs ? to_millis(repair_time_total) /
+                              static_cast<double>(tree_repairs)
+                        : 0.0;
+  }
+
+  // Deterministic digest of every counter that could diverge between two
+  // runs. Two runs with the same config + fault seed must produce equal
+  // fingerprints (reproducibility acceptance test).
+  std::string fingerprint() const {
+    std::string s;
+    auto u = [&s](const char* k, uint64_t v) {
+      s += k;
+      s += '=';
+      s += std::to_string(v);
+      s += ';';
+    };
+    u("roots", roots_emitted);
+    u("in_drops", input_drops);
+    u("q_rejects", queue_rejects);
+    u("mcast", mcast_roots);
+    u("sink", sink_completions);
+    u("acked", acked_roots);
+    u("failed", failed_roots);
+    u("crashes", node_crashes);
+    u("restarts", node_restarts);
+    u("link_faults", link_faults);
+    u("stalls", relay_stalls);
+    u("fab_drop_msgs", fabric_messages_dropped);
+    u("fab_drop_bytes", fabric_bytes_dropped);
+    u("lost", tuples_lost);
+    u("replayed", replayed_roots);
+    u("replay_done", replay_completions);
+    u("replay_exh", replays_exhausted);
+    u("repairs", tree_repairs);
+    u("repair_moves", repair_moves);
+    u("repair_ns", static_cast<uint64_t>(repair_time_total));
+    u("downtime_ns", static_cast<uint64_t>(downtime_total));
+    u("scale_ups", scale_ups);
+    u("scale_downs", scale_downs);
+    u("switches", switches_completed);
+    u("dstar", static_cast<uint64_t>(final_dstar));
+    u("bytes_tcp", bytes_tcp);
+    u("bytes_rdma", bytes_rdma);
+    u("proc_cnt", processing_latency.count());
+    u("proc_p99", static_cast<uint64_t>(processing_latency.p99()));
+    u("mc_cnt", multicast_latency.count());
+    u("mc_p99", static_cast<uint64_t>(multicast_latency.p99()));
+    u("ack_cnt", ack_latency.count());
+    u("events", sim_events);
+    return s;
   }
 };
 

@@ -14,6 +14,7 @@
 // timeout-based failure.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -68,6 +69,9 @@ class AckerLedger {
     for (const auto& [root, e] : entries_) {
       if (e.emit_time <= cutoff) victims.push_back(root);
     }
+    // The map's iteration order is unspecified; failure callbacks can
+    // schedule replays, so fire them in sorted order for determinism.
+    std::sort(victims.begin(), victims.end());
     for (uint64_t r : victims) fail(r);
     return victims.size();
   }

@@ -1,0 +1,52 @@
+// FaultInjector: schedules a FaultPlan as simulation callbacks.
+//
+// The injector owns no recovery logic — it only fires hooks at the
+// scripted times. The engine (and the fabric, for link faults) implement
+// what a crash/degradation/stall *means*; the injector guarantees the
+// events land at deterministic simulated times in a deterministic order
+// (plan order, ties broken by the kernel's insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/plan.h"
+#include "sim/simulation.h"
+
+namespace whale::faults {
+
+struct FaultHooks {
+  std::function<void(int node)> crash_node;
+  std::function<void(int node)> restart_node;
+  std::function<void(const LinkFault&)> degrade_link;
+  std::function<void(const LinkFault&)> restore_link;
+  std::function<void(int node)> stall_relay;
+  std::function<void(int node)> unstall_relay;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, FaultPlan plan, FaultHooks hooks);
+
+  // Schedules every event of the plan. Call once, before running the
+  // simulation past the earliest fault time.
+  void arm();
+
+  uint64_t crashes_fired() const { return crashes_fired_; }
+  uint64_t restarts_fired() const { return restarts_fired_; }
+  uint64_t link_faults_fired() const { return link_faults_fired_; }
+  uint64_t stalls_fired() const { return stalls_fired_; }
+
+ private:
+  sim::Simulation& sim_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  bool armed_ = false;
+
+  uint64_t crashes_fired_ = 0;
+  uint64_t restarts_fired_ = 0;
+  uint64_t link_faults_fired_ = 0;
+  uint64_t stalls_fired_ = 0;
+};
+
+}  // namespace whale::faults

@@ -209,6 +209,48 @@ std::vector<Move> MulticastTree::plan_scale_up(int new_dstar) {
   return moves;
 }
 
+int MulticastTree::num_removed() const {
+  int n = 0;
+  for (uint8_t r : removed_) n += r ? 1 : 0;
+  return n;
+}
+
+std::vector<Move> MulticastTree::repair(int v, int dstar) {
+  if (v <= 0 || static_cast<size_t>(v) >= parent_.size())
+    throw std::invalid_argument("repair: bad node");
+  if (removed(v)) throw std::invalid_argument("repair: node already removed");
+  if (dstar < 1) throw std::invalid_argument("dstar < 1");
+  if (removed_.size() < parent_.size()) removed_.resize(parent_.size(), 0);
+  removed_[static_cast<size_t>(v)] = 1;
+  detach(v);
+  // Orphan each child subtree, then re-parent them shallowest-first. The
+  // subtrees stay intact — only the single connection to the dead relay is
+  // replaced, matching the minimal-moves spirit of dynamic switching.
+  std::vector<int> orphans = children_[static_cast<size_t>(v)];
+  for (int c : orphans) detach(c);
+  recompute_layers();  // drops v and the orphans from order_
+  std::vector<Move> moves;
+  for (int c : orphans) {
+    const int slot = find_open_slot(dstar, /*excluded=*/-1);
+    assert(slot >= 0 && "repair found no open slot");
+    attach(c, slot);
+    recompute_layers();
+    moves.push_back(Move{c, v, slot});
+  }
+  return moves;
+}
+
+std::vector<Move> MulticastTree::restore(int v, int dstar) {
+  if (!removed(v)) throw std::invalid_argument("restore: node not removed");
+  if (dstar < 1) throw std::invalid_argument("dstar < 1");
+  removed_[static_cast<size_t>(v)] = 0;
+  const int slot = find_open_slot(dstar, /*excluded=*/-1);
+  assert(slot >= 0 && "restore found no open slot");
+  attach(v, slot);
+  recompute_layers();
+  return {Move{v, -1, slot}};
+}
+
 std::string MulticastTree::validate(int dstar) const {
   const size_t n = parent_.size();
   if (children_.size() != n || layer_.size() != n) return "size mismatch";
@@ -223,6 +265,15 @@ std::string MulticastTree::validate(int dstar) const {
       }
     }
   }
+  // Removed (crashed) nodes must be fully detached; they are excluded from
+  // the connectivity / order checks below.
+  const size_t alive = n - static_cast<size_t>(num_removed());
+  for (size_t v = 0; v < n; ++v) {
+    if (!removed(static_cast<int>(v))) continue;
+    if (parent_[v] != -1 || !children_[v].empty()) {
+      return "removed node " + std::to_string(v) + " still connected";
+    }
+  }
   // connectivity + reception-time layers via BFS
   std::vector<int> depth(n, -1);
   std::deque<int> q{0};
@@ -235,19 +286,21 @@ std::string MulticastTree::validate(int dstar) const {
     const auto& cs = children_[static_cast<size_t>(v)];
     for (size_t k = 0; k < cs.size(); ++k) {
       const int c = cs[k];
+      if (removed(c)) return "removed node reachable from source";
       if (depth[static_cast<size_t>(c)] != -1) return "node visited twice";
       depth[static_cast<size_t>(c)] =
           depth[static_cast<size_t>(v)] + static_cast<int>(k) + 1;
       q.push_back(c);
     }
   }
-  if (seen != n) return "tree not fully connected";
+  if (seen != alive) return "tree not fully connected";
   for (size_t v = 0; v < n; ++v) {
+    if (removed(static_cast<int>(v))) continue;
     if (layer_[v] != depth[v]) {
       return "layer mismatch at node " + std::to_string(v);
     }
   }
-  if (order_.size() != n) return "order size mismatch";
+  if (order_.size() != alive) return "order size mismatch";
   if (dstar > 0) {
     for (size_t v = 0; v < n; ++v) {
       if (static_cast<int>(children_[v].size()) > dstar) {

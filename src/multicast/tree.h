@@ -72,6 +72,23 @@ class MulticastTree {
   // not reduce the endpoint's layer. Returns the re-connections performed.
   std::vector<Move> plan_scale_up(int new_dstar);
 
+  // --- fault recovery ----------------------------------------------------
+  // Excises a crashed relay/endpoint: node v is marked removed (it keeps
+  // its id but no longer participates), and each of its orphaned child
+  // subtrees is re-parented at the shallowest surviving node with
+  // out-degree < dstar. Returns the re-connections (old_parent == v).
+  std::vector<Move> repair(int v, int dstar);
+
+  // Re-admits a previously repaired node as a leaf at the shallowest open
+  // position (old_parent == -1 in the returned move).
+  std::vector<Move> restore(int v, int dstar);
+
+  bool removed(int v) const {
+    return static_cast<size_t>(v) < removed_.size() &&
+           removed_[static_cast<size_t>(v)] != 0;
+  }
+  int num_removed() const;
+
  private:
   void add_child(int parent, int child);
   void detach(int v);
@@ -86,6 +103,9 @@ class MulticastTree {
   std::vector<std::vector<int>> children_;
   std::vector<int> layer_;
   std::vector<int> order_;
+  // removed_[v] != 0 marks a crashed node: detached, absent from order_,
+  // ignored by validate() and slot search. Lazily sized (empty == none).
+  std::vector<uint8_t> removed_;
 };
 
 }  // namespace whale::multicast

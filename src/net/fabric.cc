@@ -7,6 +7,7 @@ namespace whale::net {
 
 Fabric::Fabric(sim::Simulation& sim, ClusterSpec spec)
     : sim_(sim), spec_(spec) {
+  node_up_.assign(static_cast<size_t>(spec_.num_nodes), 1);
   for (int t = 0; t < 2; ++t) {
     const bool tcp = (t == static_cast<int>(Transport::kTcp));
     const double bw = tcp ? spec_.eth_bandwidth_bps : spec_.ib_bandwidth_bps;
@@ -28,26 +29,65 @@ Duration Fabric::propagation(Transport t, int src, int dst) const {
   return intra ? spec_.ib_prop_intra_rack : spec_.ib_prop_inter_rack;
 }
 
+void Fabric::degrade_link(int src, int dst, double bandwidth_factor,
+                          double latency_factor) {
+  assert(bandwidth_factor >= 0.0 && latency_factor >= 1.0);
+  degraded_[link_key(src, dst)] = LinkState{bandwidth_factor, latency_factor};
+}
+
+void Fabric::restore_link(int src, int dst) {
+  degraded_.erase(link_key(src, dst));
+}
+
 void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
                       std::function<void()> delivered, Duration engine_fixed) {
   assert(src >= 0 && src < spec_.num_nodes);
   assert(dst >= 0 && dst < spec_.num_nodes);
+  if (!node_up(src) || !node_up(dst)) {
+    // A dead endpoint: the message vanishes (the sender's NIC may not even
+    // exist anymore). Recovery is the upper layers' job — the acker times
+    // the lost tuple out and the spout replays it.
+    ++messages_dropped_;
+    bytes_dropped_ += payload_bytes;
+    return;
+  }
   if (src == dst) {
     // Loopback: no NIC involvement; deliver on the next event tick.
     sim_.schedule_after(0, std::move(delivered));
     return;
   }
+  const LinkState* link = nullptr;
+  auto lit = degraded_.find(link_key(src, dst));
+  if (lit != degraded_.end()) {
+    link = &lit->second;
+    if (link->bandwidth_factor <= 0.0) {
+      ++messages_dropped_;  // partitioned link
+      bytes_dropped_ += payload_bytes;
+      return;
+    }
+  }
   const uint64_t wire = cost_.wire_bytes(t, payload_bytes);
   bytes_sent_[static_cast<size_t>(t)][static_cast<size_t>(src)] += wire;
   ++messages_sent_[static_cast<size_t>(t)];
-  const Duration prop = propagation(t, src, dst);
+  Duration prop = propagation(t, src, dst);
   auto& nic = tx(t, src);
+  Duration fixed = engine_fixed;
+  if (link) {
+    // A slower link shows up as extra serialization time per message (the
+    // NIC engine is held for the additional wire time), and propagation
+    // stretches by the latency factor.
+    const Duration base = nic.transfer_time(wire);
+    fixed += static_cast<Duration>(
+        static_cast<double>(base) * (1.0 / link->bandwidth_factor - 1.0));
+    prop = static_cast<Duration>(static_cast<double>(prop) *
+                                 link->latency_factor);
+  }
   nic.transfer(
       wire,
       [this, prop, delivered = std::move(delivered)]() mutable {
         sim_.schedule_after(prop, std::move(delivered));
       },
-      engine_fixed);
+      fixed);
 }
 
 uint64_t Fabric::total_bytes_sent(Transport t) const {

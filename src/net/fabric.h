@@ -1,11 +1,18 @@
 // The cluster fabric: per-node NIC egress resources plus rack-aware
 // propagation. Raw byte mover — the TCP CPU costs and the RDMA verbs
 // semantics are layered on top (dsps transport / rdma module).
+//
+// Fault surface: nodes can be marked down (traffic to/from them is
+// dropped, `delivered` never fires) and directed links can be degraded
+// (bandwidth/latency factors; bandwidth factor 0 partitions the link).
+// Both transports share the fault state — a dead node is dead on Ethernet
+// and InfiniBand alike.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
@@ -47,7 +54,37 @@ class Fabric {
 
   Duration propagation(Transport t, int src, int dst) const;
 
+  // --- fault injection ---------------------------------------------------
+  // A down node drops everything addressed to or originating from it.
+  void set_node_up(int node, bool up) {
+    node_up_[static_cast<size_t>(node)] = up ? 1 : 0;
+  }
+  bool node_up(int node) const {
+    return node_up_[static_cast<size_t>(node)] != 0;
+  }
+  // Degrades the directed link src -> dst: achievable bandwidth is scaled
+  // by bandwidth_factor (0 = partition: messages dropped) and propagation
+  // by latency_factor. restore_link removes the degradation.
+  void degrade_link(int src, int dst, double bandwidth_factor,
+                    double latency_factor);
+  void restore_link(int src, int dst);
+  bool link_degraded(int src, int dst) const {
+    return degraded_.count(link_key(src, dst)) > 0;
+  }
+
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_dropped() const { return bytes_dropped_; }
+
  private:
+  struct LinkState {
+    double bandwidth_factor = 1.0;
+    double latency_factor = 1.0;
+  };
+  static uint64_t link_key(int src, int dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
   sim::Simulation& sim_;
   ClusterSpec spec_;
   CostModel cost_;
@@ -55,6 +92,11 @@ class Fabric {
   std::vector<std::unique_ptr<sim::ThroughputResource>> txs_[2];
   std::vector<uint64_t> bytes_sent_[2];
   uint64_t messages_sent_[2] = {0, 0};
+
+  std::vector<uint8_t> node_up_;
+  std::unordered_map<uint64_t, LinkState> degraded_;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_dropped_ = 0;
 };
 
 }  // namespace whale::net

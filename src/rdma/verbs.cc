@@ -68,13 +68,20 @@ void QueuePair::maybe_fetch() {
   if (read_outstanding_ || pending_.empty()) return;
   read_outstanding_ = true;
   ++reads_issued_;
+  // Every stage of the fetch chain is fenced by the epoch it was issued
+  // under: a reset() in between (peer crash) invalidates the chain, so a
+  // late completion cannot consume from the re-created ring.
+  const uint64_t epoch = epoch_;
   // The consumer's comm thread posts the READ work request...
-  remote_.cpu->execute(cost_.rdma_post, sim::CpuCategory::kRdmaPost, [this] {
+  remote_.cpu->execute(cost_.rdma_post, sim::CpuCategory::kRdmaPost,
+                       [this, epoch] {
+    if (epoch != epoch_) return;
     // ...the request descriptor crosses the wire to the producer's RNIC...
     fabric_.transmit(
         net::Transport::kRdma, remote_.node, local_.node,
         config_.read_request_bytes,
-        [this] {
+        [this, epoch] {
+          if (epoch != epoch_) return;
           // ...which DMAs whole posted units back without any producer CPU
           // involvement. Units are contiguous in the ring, so consecutive
           // ones coalesce into a single READ up to read_batch_max.
@@ -91,7 +98,9 @@ void QueuePair::maybe_fetch() {
           const uint64_t wr_id = next_wr_id_++;
           fabric_.transmit(
               net::Transport::kRdma, local_.node, remote_.node, batch_bytes,
-              [this, wr_id, batch_bytes, batch = std::move(batch)]() mutable {
+              [this, epoch, wr_id, batch_bytes,
+               batch = std::move(batch)]() mutable {
+                if (epoch != epoch_) return;
                 send_cq_.push(Completion{Verb::kRead, wr_id,
                                          fabric_.simulation().now(),
                                          batch_bytes});
@@ -106,6 +115,19 @@ void QueuePair::maybe_fetch() {
         },
         cost_.rnic_per_wr);
   });
+}
+
+void QueuePair::reset() {
+  ++resets_;
+  ++epoch_;  // fence: any in-flight fetch stage sees a stale epoch and bails
+  for (const auto& b : pending_) packets_lost_ += b.size();
+  pending_.clear();
+  read_outstanding_ = false;
+  if (config_.verb == Verb::kRead) {
+    ring_ = std::make_unique<RingMemoryRegion>(config_.ring_capacity);
+    // Producers blocked on ring-full can retry against the fresh ring.
+    release_space();
+  }
 }
 
 void QueuePair::release_space() {

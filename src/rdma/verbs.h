@@ -143,6 +143,13 @@ class QueuePair {
     space_waiters_.push_back(std::move(fn));
   }
 
+  // Fault recovery: the peer died and the QP went to error state. Drops
+  // every buffered/in-flight message (counted in packets_lost), re-creates
+  // the ring, cancels the outstanding READ (stale completions are fenced
+  // by an epoch counter), and releases blocked producers so they retry
+  // against the fresh ring. Models tearing the QP down and re-creating it.
+  void reset();
+
   Verb verb() const { return config_.verb; }
   const QpEndpoint& local() const { return local_; }
   const QpEndpoint& remote() const { return remote_; }
@@ -152,6 +159,8 @@ class QueuePair {
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t packets_lost() const { return packets_lost_; }
+  uint64_t resets() const { return resets_; }
 
  private:
   void deliver(Packet p);
@@ -175,10 +184,16 @@ class QueuePair {
   std::deque<Bundle> pending_;
   bool read_outstanding_ = false;
   std::vector<std::function<void()>> space_waiters_;
+  // Incremented by reset(); in-flight fetch callbacks capture the epoch
+  // they were issued under and discard themselves if it has moved on, so a
+  // completion raced by a reset can never touch the re-created ring.
+  uint64_t epoch_ = 0;
 
   uint64_t packets_sent_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t reads_issued_ = 0;
+  uint64_t packets_lost_ = 0;
+  uint64_t resets_ = 0;
   uint64_t next_wr_id_ = 1;
 };
 

@@ -7,10 +7,10 @@
 // engine) is built as callbacks over this kernel.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
@@ -23,12 +23,13 @@ class Simulation {
 
   Time now() const { return now_; }
   uint64_t events_processed() const { return processed_; }
-  bool empty() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
 
   void schedule_at(Time t, Callback fn) {
     assert(t >= now_ && "cannot schedule in the past");
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    heap_.push_back(Event{t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Event::Later{});
   }
 
   void schedule_after(Duration d, Callback fn) {
@@ -38,21 +39,22 @@ class Simulation {
 
   // Runs the earliest event. Returns false if the queue was empty.
   bool step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top is const; the callback must be moved out before
-    // pop, so we const_cast the owned element (safe: we pop immediately).
-    Event& ev = const_cast<Event&>(queue_.top());
+    if (heap_.empty()) return false;
+    // pop_heap moves the earliest event to the back, where it is mutable
+    // and can be moved out cleanly (std::priority_queue only exposes a
+    // const top(), which would force a const_cast here).
+    std::pop_heap(heap_.begin(), heap_.end(), Event::Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.time;
-    Callback fn = std::move(ev.fn);
-    queue_.pop();
     ++processed_;
-    fn();
+    ev.fn();
     return true;
   }
 
   // Processes every event with time <= t, then advances the clock to t.
   void run_until(Time t) {
-    while (!queue_.empty() && queue_.top().time <= t) step();
+    while (!heap_.empty() && heap_.front().time <= t) step();
     if (now_ < t) now_ = t;
   }
 
@@ -68,13 +70,17 @@ class Simulation {
     uint64_t seq;
     Callback fn;
 
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+    // Min-heap comparator: "a fires later than b" puts the earliest
+    // (time, seq) at heap_.front().
+    struct Later {
+      bool operator()(const Event& a, const Event& b) const {
+        if (a.time != b.time) return a.time > b.time;
+        return a.seq > b.seq;
+      }
+    };
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Event> heap_;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t processed_ = 0;

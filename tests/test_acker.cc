@@ -108,6 +108,85 @@ TEST(AckerLedger, FailRemovesAndCounts) {
   EXPECT_EQ(a.completed(), 0u);
 }
 
+TEST(AckerLedger, OutOfOrderAckAfterFailureIsIgnored) {
+  // A failure (timeout or drop) erases the entry; acks and anchors that
+  // were still in flight when the root failed must land harmlessly and
+  // must not resurrect the entry or complete a dead root.
+  AckerLedger a;
+  int completions = 0;
+  int fails = 0;
+  a.set_on_complete([&](uint64_t, Time) { ++completions; });
+  a.set_on_fail([&](uint64_t) { ++fails; });
+  a.root_emitted(5, 0);
+  a.anchored(5, 10);
+  a.anchored(5, 20);
+  a.root_finished(5);
+  a.acked(5, 10);
+  a.fail(5);  // e.g. node hosting edge 20's consumer crashed
+  EXPECT_EQ(fails, 1);
+  EXPECT_FALSE(a.tracking(5));
+  // Straggler messages from before the failure arrive out of order.
+  a.acked(5, 20);
+  a.anchored(5, 30);
+  a.acked(5, 30);
+  a.root_finished(5);
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(a.pending(), 0u);
+  EXPECT_EQ(a.completed(), 0u);
+}
+
+TEST(AckerLedger, ReplayedRootReRegistersAndCompletes) {
+  // At-least-once replay: after a failure the spout re-emits the SAME
+  // root id. root_emitted must open a fresh, completable entry whose
+  // ledger is untainted by the failed attempt's outstanding edges.
+  AckerLedger a;
+  uint64_t done = 0;
+  Time done_emit = 0;
+  a.set_on_complete([&](uint64_t root, Time emit) {
+    done = root;
+    done_emit = emit;
+  });
+  a.root_emitted(42, ms(10));
+  a.anchored(42, 111);
+  a.anchored(42, 222);
+  a.root_finished(42);
+  a.acked(42, 111);
+  a.fail(42);  // edge 222 never acked: timed out
+  EXPECT_EQ(a.failed(), 1u);
+
+  // Replay with a new emit time and fresh edge ids.
+  a.root_emitted(42, ms(500));
+  EXPECT_TRUE(a.tracking(42));
+  a.anchored(42, 333);
+  a.anchored(42, 444);
+  a.root_finished(42);
+  a.acked(42, 444);
+  EXPECT_EQ(done, 0u);  // 333 outstanding
+  a.acked(42, 333);
+  EXPECT_EQ(done, 42u);
+  EXPECT_EQ(done_emit, ms(500));  // latency measured from the replay
+  EXPECT_EQ(a.completed(), 1u);
+  EXPECT_EQ(a.failed(), 1u);
+}
+
+TEST(AckerLedger, DoubleFailIsIdempotent) {
+  // A root can be failed twice (explicit drop racing the timeout sweep);
+  // the second fail must be a no-op: one callback, one count.
+  AckerLedger a;
+  int fails = 0;
+  a.set_on_fail([&](uint64_t) { ++fails; });
+  a.root_emitted(8, 0);
+  a.anchored(8, 77);
+  a.fail(8);
+  a.fail(8);
+  EXPECT_EQ(fails, 1);
+  EXPECT_EQ(a.failed(), 1u);
+  EXPECT_EQ(a.pending(), 0u);
+  // Expiry after the fact also finds nothing to fail.
+  EXPECT_EQ(a.expire_older_than(ms(1000)), 0u);
+  EXPECT_EQ(a.failed(), 1u);
+}
+
 TEST(AckerLedger, ExpireOlderThan) {
   AckerLedger a;
   a.root_emitted(1, ms(10));

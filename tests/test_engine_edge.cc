@@ -164,7 +164,12 @@ TEST(EngineEdge, TwoAllGroupedStreamsShareASource) {
   apps::StockAppParams p;
   p.matching_parallelism = 12;
   p.aggregation_parallelism = 2;
-  p.order_rate = dsps::RateProfile::constant(800);
+  // Stay under the matching stage's capacity: validation costs
+  // 40us + 4us * ceil(num_symbols / parallelism) ~ 2.26 ms per order with
+  // the default 6649 symbols, capping each matching instance near 440 tps.
+  // 300 tps keeps the test's point (two groups share one source) while
+  // leaving headroom so throughput ~= offered rate.
+  p.order_rate = dsps::RateProfile::constant(300);
   p.separate_buy_sell_streams = true;
   const auto app = apps::build_stock_exchange(p);
   ASSERT_GE(app.sell_stream, 0);
@@ -173,7 +178,7 @@ TEST(EngineEdge, TwoAllGroupedStreamsShareASource) {
   const auto& r = e.run(ms(100), ms(500));
   EXPECT_EQ(e.num_mcast_groups(), 2u);
   // Throughput aggregates both streams: close to the valid-order rate.
-  EXPECT_GT(r.mcast_throughput_tps, 0.8 * 800);
+  EXPECT_GT(r.mcast_throughput_tps, 0.8 * 300);
   EXPECT_GT(r.sink_completions, 0u);  // trades still settle
 }
 
