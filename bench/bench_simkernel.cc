@@ -1,0 +1,203 @@
+// Simulator hot-path benchmark: events/sec through the discrete-event
+// kernel, allocations per event, and peak RSS.
+//
+// Two phases, both fully deterministic:
+//
+//  - "mixed": the kernel microworkload. 64 self-rescheduling event chains
+//    (the CpuServer/ThroughputResource shape that dominates real runs)
+//    interleaved with BoundedQueue push/pop churn and per-message framing
+//    with an 8-way zero-copy fan-out (the multicast relay shape). This is
+//    the acceptance workload for kernel optimisations.
+//
+//  - "engine": an end-to-end ride-hailing run (Whale variant); events/sec
+//    here is what every paper-figure bench actually experiences.
+//
+// Allocation counts come from a counting operator new/delete in this
+// binary, so they cover the whole process. Output is one JSON object on
+// stdout; scripts/run_bench.sh records it into BENCH_simkernel.json.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "apps/ride_hailing_app.h"
+#include "core/engine.h"
+#include "core/message.h"
+#include "sim/queue.h"
+#include "sim/simulation.h"
+
+// --- counting allocator hook -------------------------------------------------
+
+namespace {
+std::size_t g_allocs = 0;
+std::size_t g_alloc_bytes = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  g_alloc_bytes += n;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_allocs;
+  g_alloc_bytes += n;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace whale {
+namespace {
+
+struct PhaseStats {
+  uint64_t events = 0;
+  double wall_ns = 0;
+  double allocs = 0;
+  double alloc_bytes = 0;
+};
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One self-rescheduling event chain. The capture is sized like the
+// engine's hot callbacks (a few pointers + counters); every 16th tick
+// churns a bounded queue, every 64th frames a message and fans it out to
+// 8 destinations by reference (the relay pattern).
+struct Ticker {
+  sim::Simulation* sim;
+  sim::BoundedQueue<uint64_t>* q;
+  const std::vector<uint8_t>* payload;
+  uint64_t* framed_bytes;
+  uint64_t remaining;
+  uint64_t seq;
+
+  void operator()() {
+    if ((seq & 15u) == 0u) {
+      uint64_t v = seq;
+      q->try_push(v);
+      q->try_pop();
+    }
+    if ((seq & 63u) == 0u) {
+      core::Bytes b = core::frame(core::MsgKind::kBatchData, 0, *payload);
+      core::Bytes fanout[8];
+      for (auto& dst : fanout) dst = b;  // relays share, never copy
+      const core::Envelope env = core::peek(*fanout[7]);
+      *framed_bytes += fanout[7]->size() - env.header_len;
+    }
+    ++seq;
+    if (--remaining > 0) sim->schedule_after(1, *this);
+  }
+};
+
+PhaseStats run_mixed() {
+  sim::Simulation s;
+  sim::BoundedQueue<uint64_t> q(1024);
+  const std::vector<uint8_t> payload(256, 0xab);
+  uint64_t framed_bytes = 0;
+
+  constexpr int kChains = 64;
+  constexpr uint64_t kTicksPerChain = 40000;
+  for (int k = 0; k < kChains; ++k) {
+    s.schedule_at(k, Ticker{&s, &q, &payload, &framed_bytes, kTicksPerChain,
+                            static_cast<uint64_t>(k)});
+  }
+
+  const std::size_t a0 = g_allocs;
+  const std::size_t b0 = g_alloc_bytes;
+  const double t0 = now_ns();
+  s.run();
+  const double t1 = now_ns();
+
+  PhaseStats st;
+  st.events = s.events_processed();
+  st.wall_ns = t1 - t0;
+  st.allocs = static_cast<double>(g_allocs - a0);
+  st.alloc_bytes = static_cast<double>(g_alloc_bytes - b0);
+  if (framed_bytes == 0) std::abort();  // keep the framing work observable
+  return st;
+}
+
+PhaseStats run_engine() {
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = core::SystemVariant::Whale();
+  cfg.seed = 42;
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = 32;
+  p.aggregation_parallelism = 4;
+  p.driver_spout_parallelism = 2;
+  p.request_rate = dsps::RateProfile::constant(4000);
+  p.driver_rate = dsps::RateProfile::constant(3000);
+  core::Engine e(cfg, apps::build_ride_hailing(p).topology);
+
+  const std::size_t a0 = g_allocs;
+  const std::size_t b0 = g_alloc_bytes;
+  const double t0 = now_ns();
+  const auto& r = e.run(ms(100), ms(500));
+  const double t1 = now_ns();
+
+  PhaseStats st;
+  st.events = r.sim_events;
+  st.wall_ns = t1 - t0;
+  st.allocs = static_cast<double>(g_allocs - a0);
+  st.alloc_bytes = static_cast<double>(g_alloc_bytes - b0);
+  return st;
+}
+
+void print_phase(const char* name, const PhaseStats& st, bool last) {
+  const double ev = static_cast<double>(st.events);
+  std::printf(
+      "    \"%s\": {\"events\": %llu, \"wall_ms\": %.2f, "
+      "\"events_per_sec\": %.0f, \"ns_per_event\": %.2f, "
+      "\"allocs_per_event\": %.3f, \"alloc_bytes_per_event\": %.1f}%s\n",
+      name, static_cast<unsigned long long>(st.events), st.wall_ns / 1e6,
+      ev / (st.wall_ns / 1e9), st.wall_ns / ev, st.allocs / ev,
+      st.alloc_bytes / ev, last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace whale
+
+int main() {
+  using namespace whale;
+  // Warm up allocator caches so phase deltas measure steady state.
+  { auto warm = run_mixed(); (void)warm; }
+  const PhaseStats mixed = run_mixed();
+  const PhaseStats engine = run_engine();
+
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+
+  std::printf("{\n  \"bench\": \"simkernel\",\n  \"phases\": {\n");
+  print_phase("mixed", mixed, false);
+  print_phase("engine", engine, true);
+  std::printf("  },\n  \"peak_rss_kb\": %ld\n}\n", ru.ru_maxrss);
+  return 0;
+}

@@ -9,9 +9,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# No -G: respect the generator of an existing build tree (a cached tree
+# configured with a different generator would otherwise hard-error).
+cmake -B build
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Sanitizer pass: the whole suite again under AddressSanitizer +
 # UndefinedBehaviorSanitizer in a separate build tree. The engine is all
@@ -21,9 +23,9 @@ if [ "${WHALE_CHECK_SANITIZE:-1}" = "1" ]; then
   cmake -B build-asan -G Ninja \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  cmake --build build-asan
+  cmake --build build-asan -j "$(nproc)"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-    ctest --test-dir build-asan --output-on-failure
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 fi
 
 # Reduced-scale bench smoke: ~1/8 of the paper's parallelism, 80 ms

@@ -16,6 +16,29 @@
 
 namespace whale {
 
+// Encoded length of an unsigned LEB128 varint (for arithmetic size
+// computation without encoding).
+constexpr size_t varint_size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Writes a varint to `out` (must have room for varint_size(v) bytes);
+// returns the number of bytes written.
+inline size_t write_varint(uint8_t* out, uint64_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
 class ByteWriter {
  public:
   ByteWriter() = default;

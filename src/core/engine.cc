@@ -818,8 +818,12 @@ void Engine::send_point_to_point(TaskRt& t,
           return;
         }
         const int d = (*rem)[(*idx)++];
-        auto payload = dsps::TupleSerde::encode_instance_message(d, *tup);
-        Bytes bytes = frame(MsgKind::kInstanceData, 0, payload);
+        // Encode straight into a pooled block; the envelope header is
+        // prepended in place (no payload copy, no per-message allocation
+        // once the pool is warm).
+        PoolWriter pw(tup->approx_bytes() + 40, kFrameHeadroom);
+        dsps::TupleSerde::encode_instance_into(pw, d, *tup);
+        Bytes bytes = frame(MsgKind::kInstanceData, 0, std::move(pw));
         const Duration ser = cfg_.cost.ser_time(bytes->size());
         if (track_root) {
           auto it = comm_tracks_.find(track_root);
@@ -861,11 +865,11 @@ void Engine::send_point_to_point(TaskRt& t,
     auto targets = std::make_shared<std::vector<Target>>();
     for (size_t wk = 0; wk < per_worker.size(); ++wk) {
       if (per_worker[wk].empty()) continue;
-      auto payload =
-          dsps::TupleSerde::encode_batch_message(per_worker[wk], *tup);
-      targets->push_back(
-          Target{static_cast<int>(wk),
-                 frame(MsgKind::kBatchData, 0, payload)});
+      PoolWriter pw(tup->approx_bytes() + 40 + per_worker[wk].size() * 2,
+                    kFrameHeadroom);
+      dsps::TupleSerde::encode_batch_into(pw, per_worker[wk], *tup);
+      targets->push_back(Target{static_cast<int>(wk),
+                                frame(MsgKind::kBatchData, 0, std::move(pw))});
     }
     const Duration first_ser =
         cfg_.cost.ser_time(dsps::TupleSerde::body_size(*tup));
@@ -941,10 +945,10 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
   }
 
   // Serialize the data item once (shared by every hop of the tree).
-  ByteWriter bw(tup->approx_bytes() + 32);
+  PoolWriter bw(tup->approx_bytes() + 32, kFrameHeadroom);
   dsps::TupleSerde::encode_body(*tup, bw);
-  const auto body = bw.take();
-  const Duration ser = cfg_.cost.ser_time(body.size());
+  const size_t body_len = bw.size();
+  const Duration ser = cfg_.cost.ser_time(body_len);
 
   if (tracked) {
     mcast_track_start(root, tup->root_emit_time,
@@ -963,12 +967,25 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
                       source_send_cost(dsps::TupleSerde::body_size(*tup))
                           .first);
 
+  // Worker-level trees carry endpoint 0 in every envelope (WOC), so the
+  // message is framed once right here and every child shares the same
+  // pooled buffer by refcount bump. Instance-level trees rewrite the
+  // endpoint per child, so they share the bare body and frame per
+  // destination (one copy each, as before).
+  Bytes framed;  // worker-level only
+  Bytes body;    // instance-level only
+  if (g.worker_level) {
+    framed = frame_mcast(g.id, 0, std::move(bw));
+  } else {
+    body = std::move(bw).finish();
+  }
+
   TaskRt* traw = &t;
   McastGroup* graw = &g;
   t.cpu->execute(ser, sim::CpuCategory::kSerialization, [this, traw, graw,
                                                          tup, root, tracked,
-                                                         body = std::move(
-                                                             body),
+                                                         framed, body,
+                                                         body_len,
                                                          done = std::move(
                                                              done),
                                                          &w]() mutable {
@@ -991,8 +1008,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
         ct->second.outstanding = static_cast<uint32_t>(children.size());
       }
     }
-    loop_async([this, traw, graw, root, tracked, body, idx, children,
-                done = std::move(done), &w](auto next) {
+    loop_async([this, traw, graw, root, tracked, framed, body, body_len, idx,
+                children, done = std::move(done), &w](auto next) {
       if (*idx >= children.size()) {
         done();
         return;
@@ -1001,20 +1018,15 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
       // Each cascading destination costs the source its scheduling time
       // plus the transport's per-channel send cost — the d0 * t_d term
       // that makes large out-degrees choke the source (Eq. 1).
-      const auto [send_cost, send_cat] = source_send_cost(body.size());
+      const auto [send_cost, send_cat] = source_send_cost(body_len);
       traw->cpu->execute(cfg_.mcast_schedule_per_child + send_cost, send_cat,
-          [this, graw, root, tracked, body, child_ep, next, &w] {
+          [this, graw, root, tracked, framed, body, child_ep, next, &w] {
             OutMsg m;
-            const int ep_field = graw->worker_level ? 0 : child_ep;
-            {
-              ByteWriter hw(8);
-              hw.put_u8(static_cast<uint8_t>(MsgKind::kMcastData));
-              hw.put_varint(graw->id);
-              hw.put_varint(static_cast<uint64_t>(ep_field));
-              auto v = hw.take();
-              v.insert(v.end(), body.begin(), body.end());
-              m.bytes = make_bytes(std::move(v));
-            }
+            m.bytes = graw->worker_level
+                          ? framed  // shared buffer, refcount bump only
+                          : frame_mcast(graw->id,
+                                        static_cast<uint32_t>(child_ep),
+                                        *body);
             const int ep = graw->endpoints[static_cast<size_t>(child_ep)];
             m.dst_worker = graw->worker_level
                                ? ep
@@ -1296,14 +1308,8 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
     } else {
       // Instance-level endpoints need their own envelope (endpoint field).
       const Envelope env = peek(*pkt.bytes);
-      auto body = payload_of(*pkt.bytes, env);
-      ByteWriter hw(8);
-      hw.put_u8(static_cast<uint8_t>(MsgKind::kMcastData));
-      hw.put_varint(g.id);
-      hw.put_varint(static_cast<uint64_t>(child_ep));
-      auto v = hw.take();
-      v.insert(v.end(), body.begin(), body.end());
-      m.bytes = make_bytes(std::move(v));
+      m.bytes = frame_mcast(g.id, static_cast<uint32_t>(child_ep),
+                            payload_of(*pkt.bytes, env));
     }
     const int ep = g.endpoints[static_cast<size_t>(child_ep)];
     m.dst_worker =

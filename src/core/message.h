@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "dsps/serde.h"
 
@@ -33,24 +34,76 @@ struct Envelope {
   size_t header_len = 0;   // bytes consumed by the envelope header
 };
 
-// Shared, immutable serialized message.
-using Bytes = std::shared_ptr<const std::vector<uint8_t>>;
+// Shared, immutable serialized message (refcounted pooled block).
+using Bytes = whale::Buffer;
+
+// Headroom a PoolWriter must reserve so any envelope header (kind byte
+// plus up to two varints) can be prepended in place.
+constexpr size_t kFrameHeadroom = 16;
 
 inline Bytes make_bytes(std::vector<uint8_t> v) {
-  return std::make_shared<const std::vector<uint8_t>>(std::move(v));
+  return Buffer::copy_of(v);
 }
 
-// Builds an envelope-framed message from a serde-encoded payload.
+namespace detail {
+inline size_t build_header(uint8_t* hdr, MsgKind kind, uint32_t group) {
+  size_t n = 0;
+  hdr[n++] = static_cast<uint8_t>(kind);
+  if (kind != MsgKind::kInstanceData && kind != MsgKind::kBatchData) {
+    n += write_varint(hdr + n, group);
+  }
+  return n;
+}
+}  // namespace detail
+
+// Builds an envelope-framed message from a serde-encoded payload (the
+// payload bytes are copied once, into the pooled block).
 inline Bytes frame(MsgKind kind, uint32_t group,
                    std::span<const uint8_t> payload) {
-  ByteWriter w(payload.size() + 8);
-  w.put_u8(static_cast<uint8_t>(kind));
-  if (kind != MsgKind::kInstanceData && kind != MsgKind::kBatchData) {
-    w.put_varint(group);
-  }
-  auto v = w.take();
-  v.insert(v.end(), payload.begin(), payload.end());
-  return make_bytes(std::move(v));
+  uint8_t hdr[kFrameHeadroom];
+  const size_t n = detail::build_header(hdr, kind, group);
+  PoolWriter w(n + payload.size());
+  w.put_raw(hdr, n);
+  w.put_raw(payload.data(), payload.size());
+  return std::move(w).finish();
+}
+
+// Frames a payload already encoded into a PoolWriter constructed with
+// kFrameHeadroom: the header is prepended in place, the payload bytes are
+// never copied.
+inline Bytes frame(MsgKind kind, uint32_t group, PoolWriter&& body) {
+  uint8_t hdr[kFrameHeadroom];
+  const size_t n = detail::build_header(hdr, kind, group);
+  body.prepend({hdr, n});
+  return std::move(body).finish();
+}
+
+// Multicast envelope: kind + group + destination endpoint (peek() reads
+// all three for kMcastData). In-place prepend; zero payload copies.
+inline Bytes frame_mcast(uint32_t group, uint32_t endpoint,
+                         PoolWriter&& body) {
+  uint8_t hdr[kFrameHeadroom];
+  size_t n = 0;
+  hdr[n++] = static_cast<uint8_t>(MsgKind::kMcastData);
+  n += write_varint(hdr + n, group);
+  n += write_varint(hdr + n, endpoint);
+  body.prepend({hdr, n});
+  return std::move(body).finish();
+}
+
+// Multicast envelope over an existing body (one payload copy; used by
+// instance-level trees whose relays must rewrite the endpoint field).
+inline Bytes frame_mcast(uint32_t group, uint32_t endpoint,
+                         std::span<const uint8_t> body) {
+  uint8_t hdr[kFrameHeadroom];
+  size_t n = 0;
+  hdr[n++] = static_cast<uint8_t>(MsgKind::kMcastData);
+  n += write_varint(hdr + n, group);
+  n += write_varint(hdr + n, endpoint);
+  PoolWriter w(n + body.size());
+  w.put_raw(hdr, n);
+  w.put_raw(body.data(), body.size());
+  return std::move(w).finish();
 }
 
 // Reads just the envelope header (cheap; used by relays to route without

@@ -2,29 +2,6 @@
 
 namespace whale::dsps {
 
-namespace {
-enum FieldTag : uint8_t { kInt = 0, kDouble = 1, kString = 2 };
-}  // namespace
-
-void TupleSerde::encode_body(const Tuple& t, ByteWriter& w) {
-  w.put_varint(t.stream);
-  w.put_u64(t.root_id);
-  w.put_i64(t.root_emit_time);
-  w.put_varint(t.values.size());
-  for (const auto& v : t.values) {
-    if (const auto* i = std::get_if<int64_t>(&v)) {
-      w.put_u8(kInt);
-      w.put_i64(*i);
-    } else if (const auto* d = std::get_if<double>(&v)) {
-      w.put_u8(kDouble);
-      w.put_f64(*d);
-    } else {
-      w.put_u8(kString);
-      w.put_string(std::get<std::string>(v));
-    }
-  }
-}
-
 Tuple TupleSerde::decode_body(ByteReader& r) {
   Tuple t;
   t.stream = static_cast<uint32_t>(r.get_varint());
@@ -53,8 +30,7 @@ Tuple TupleSerde::decode_body(ByteReader& r) {
 std::vector<uint8_t> TupleSerde::encode_instance_message(int32_t dst_task,
                                                          const Tuple& t) {
   ByteWriter w(t.approx_bytes() + 32);
-  w.put_varint(static_cast<uint64_t>(dst_task));
-  encode_body(t, w);
+  encode_instance_into(w, dst_task, t);
   return w.take();
 }
 
@@ -70,9 +46,7 @@ TupleSerde::InstanceMessage TupleSerde::decode_instance_message(
 std::vector<uint8_t> TupleSerde::encode_batch_message(
     const std::vector<int32_t>& dst_tasks, const Tuple& t) {
   ByteWriter w(t.approx_bytes() + 32 + dst_tasks.size() * 2);
-  w.put_varint(dst_tasks.size());
-  for (int32_t id : dst_tasks) w.put_varint(static_cast<uint64_t>(id));
-  encode_body(t, w);
+  encode_batch_into(w, dst_tasks, t);
   return w.take();
 }
 
@@ -90,9 +64,18 @@ TupleSerde::BatchMessage TupleSerde::decode_batch_message(
 }
 
 size_t TupleSerde::body_size(const Tuple& t) {
-  ByteWriter w(t.approx_bytes() + 32);
-  encode_body(t, w);
-  return w.size();
+  // Mirrors encode_body field by field, without encoding anything.
+  size_t n = varint_size(t.stream) + sizeof(uint64_t) + sizeof(int64_t) +
+             varint_size(t.values.size());
+  for (const auto& v : t.values) {
+    n += 1;  // field tag
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      n += varint_size(s->size()) + s->size();
+    } else {
+      n += 8;  // i64 / f64
+    }
+  }
+  return n;
 }
 
 }  // namespace whale::dsps

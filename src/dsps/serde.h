@@ -9,6 +9,10 @@
 //   TupleMessage   := header(dst_id) body
 //   BatchMessage   := header(dst_id_count, dst_ids...) body
 //   body           := stream, root_id, root_emit_time, field_count, fields...
+//
+// The encoders are templates over the writer so the same format definition
+// serves ByteWriter (vector-backed) and PoolWriter (pooled zero-copy
+// framing) without a second copy of the format.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +26,36 @@ namespace whale::dsps {
 
 class TupleSerde {
  public:
+  enum FieldTag : uint8_t { kInt = 0, kDouble = 1, kString = 2 };
+
   // Body only (shared between both message formats).
-  static void encode_body(const Tuple& t, ByteWriter& w);
+  template <typename W>
+  static void encode_body(const Tuple& t, W& w) {
+    w.put_varint(t.stream);
+    w.put_u64(t.root_id);
+    w.put_i64(t.root_emit_time);
+    w.put_varint(t.values.size());
+    for (const auto& v : t.values) {
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        w.put_u8(kInt);
+        w.put_i64(*i);
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        w.put_u8(kDouble);
+        w.put_f64(*d);
+      } else {
+        w.put_u8(kString);
+        w.put_string(std::get<std::string>(v));
+      }
+    }
+  }
   static Tuple decode_body(ByteReader& r);
 
   // Instance-oriented (Storm, Fig. 9a): one destination task id.
+  template <typename W>
+  static void encode_instance_into(W& w, int32_t dst_task, const Tuple& t) {
+    w.put_varint(static_cast<uint64_t>(dst_task));
+    encode_body(t, w);
+  }
   static std::vector<uint8_t> encode_instance_message(int32_t dst_task,
                                                       const Tuple& t);
   struct InstanceMessage {
@@ -38,6 +67,13 @@ class TupleSerde {
 
   // Worker-oriented BatchTuple (Whale, Fig. 9b): all destination ids on the
   // target worker share one serialized data item.
+  template <typename W>
+  static void encode_batch_into(W& w, const std::vector<int32_t>& dst_tasks,
+                                const Tuple& t) {
+    w.put_varint(dst_tasks.size());
+    for (int32_t id : dst_tasks) w.put_varint(static_cast<uint64_t>(id));
+    encode_body(t, w);
+  }
   static std::vector<uint8_t> encode_batch_message(
       const std::vector<int32_t>& dst_tasks, const Tuple& t);
   struct BatchMessage {
@@ -46,8 +82,8 @@ class TupleSerde {
   };
   static BatchMessage decode_batch_message(std::span<const uint8_t> bytes);
 
-  // Serialized body size without building a message (used by cost charging
-  // on paths that reuse an already-encoded body).
+  // Serialized body size, computed arithmetically — no encoding pass (used
+  // by cost charging on paths that reuse an already-encoded body).
   static size_t body_size(const Tuple& t);
 };
 

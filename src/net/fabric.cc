@@ -40,7 +40,7 @@ void Fabric::restore_link(int src, int dst) {
 }
 
 void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
-                      std::function<void()> delivered, Duration engine_fixed) {
+                      InlineFunction delivered, Duration engine_fixed) {
   assert(src >= 0 && src < spec_.num_nodes);
   assert(dst >= 0 && dst < spec_.num_nodes);
   if (!node_up(src) || !node_up(dst)) {
@@ -82,12 +82,10 @@ void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
     prop = static_cast<Duration>(static_cast<double>(prop) *
                                  link->latency_factor);
   }
-  nic.transfer(
-      wire,
-      [this, prop, delivered = std::move(delivered)]() mutable {
-        sim_.schedule_after(prop, std::move(delivered));
-      },
-      fixed);
+  // The NIC schedules `delivered` prop after serialization completes; no
+  // trampoline callback, so small delivery continuations stay inline in
+  // the event slab.
+  nic.transfer(wire, std::move(delivered), fixed, prop);
 }
 
 uint64_t Fabric::total_bytes_sent(Transport t) const {

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/time.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -37,7 +37,7 @@ class Fabric {
   // `engine_fixed` occupies the egress engine per message in addition to
   // the wire time (RNIC per-work-request processing).
   void transmit(Transport t, int src, int dst, uint64_t payload_bytes,
-                std::function<void()> delivered, Duration engine_fixed = 0);
+                InlineFunction delivered, Duration engine_fixed = 0);
 
   // Egress byte counters per node/transport (traffic figures 27/28).
   uint64_t bytes_sent(Transport t, int node) const {

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/time.h"
 #include "net/cost_model.h"
 #include "net/fabric.h"
@@ -35,14 +36,14 @@
 
 namespace whale::rdma {
 
-// A serialized message in flight. `bytes` is shared so that multicast
-// relaying and local dispatch never copy payloads.
+// A serialized message in flight. `bytes` is a refcounted pooled buffer so
+// that multicast relaying and local dispatch never copy payloads.
 struct Packet {
-  std::shared_ptr<const std::vector<uint8_t>> bytes;
+  Buffer bytes;
   Time created = 0;   // stamped by the producer, for end-to-end latency
   uint64_t id = 0;    // opaque correlation id (tuple / batch id)
 
-  uint64_t size() const { return bytes ? bytes->size() : 0; }
+  uint64_t size() const { return bytes.size(); }
 };
 
 using Bundle = std::vector<Packet>;

@@ -6,14 +6,20 @@
 // paper's Fig. 2c (upstream instance CPU saturates while downstream
 // instances idle) and Fig. 2d (CPU time breakdown: serialization vs packet
 // processing vs rest).
+//
+// Completion events capture only `this` (plus a slot index for CorePool),
+// so they always fit in the kernel's inline callback storage; the job being
+// served lives in a member / slab slot instead of the event capture.
 #pragma once
 
 #include <array>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/inline_function.h"
 #include "common/time.h"
+#include "sim/ring.h"
 #include "sim/simulation.h"
 
 namespace whale::sim {
@@ -56,8 +62,8 @@ class CorePool {
 
   // Runs `duration` of work on the next free core; `done` fires when the
   // work completes (after possibly waiting for a core).
-  void acquire(Duration duration, std::function<void()> done) {
-    waiting_.push_back(Job{duration, std::move(done)});
+  void acquire(Duration duration, InlineFunction done) {
+    waiting_.push_back(Job{duration, std::move(done), kNilSlot});
     pump();
   }
 
@@ -66,29 +72,48 @@ class CorePool {
   Duration busy_time() const { return total_busy_; }
 
  private:
+  static constexpr uint32_t kNilSlot = UINT32_MAX;
+
   struct Job {
     Duration duration;
-    std::function<void()> done;
+    InlineFunction done;
+    uint32_t next_free;
   };
 
   void pump() {
     while (free_ > 0 && !waiting_.empty()) {
       --free_;
-      Job job = std::move(waiting_.front());
-      waiting_.pop_front();
-      sim_.schedule_after(job.duration,
-                          [this, job = std::move(job)]() mutable {
-                            total_busy_ += job.duration;
-                            ++free_;
-                            if (job.done) job.done();
-                            pump();
-                          });
+      const Duration d = waiting_.front().duration;
+      // Park the in-flight job in a slab slot so the completion event
+      // captures only {this, slot} and stays allocation-free.
+      uint32_t slot;
+      if (free_slot_ != kNilSlot) {
+        slot = free_slot_;
+        free_slot_ = running_[slot].next_free;
+        running_[slot] = waiting_.pop_front();
+      } else {
+        slot = static_cast<uint32_t>(running_.size());
+        running_.push_back(waiting_.pop_front());
+      }
+      sim_.schedule_after(d, [this, slot] { finish(slot); });
     }
+  }
+
+  void finish(uint32_t slot) {
+    Job job = std::move(running_[slot]);
+    running_[slot].next_free = free_slot_;
+    free_slot_ = slot;
+    total_busy_ += job.duration;
+    ++free_;
+    if (job.done) job.done();
+    pump();
   }
 
   Simulation& sim_;
   int free_;
-  std::deque<Job> waiting_;
+  Ring<Job> waiting_;
+  std::vector<Job> running_;
+  uint32_t free_slot_ = kNilSlot;
   Duration total_busy_ = 0;
 };
 
@@ -103,7 +128,7 @@ class CpuServer {
   // Enqueues `duration` of CPU work; `done` runs when the work completes
   // (after all previously enqueued work). `done` may be null.
   void execute(Duration duration, CpuCategory cat,
-               std::function<void()> done = nullptr) {
+               InlineFunction done = nullptr) {
     jobs_.push_back(Job{duration, cat, std::move(done)});
     if (!busy_) start_next();
   }
@@ -132,7 +157,7 @@ class CpuServer {
   struct Job {
     Duration duration;
     CpuCategory cat;
-    std::function<void()> done;
+    InlineFunction done;
   };
 
   // Approximation used by utilization(): we only track cumulative busy time,
@@ -151,27 +176,30 @@ class CpuServer {
       return;
     }
     busy_ = true;
-    Job job = std::move(jobs_.front());
-    jobs_.pop_front();
-    const Duration d = job.duration;
-    auto finish = [this, job = std::move(job)]() mutable {
-      total_busy_ += job.duration;
-      busy_by_cat_[static_cast<size_t>(job.cat)] += job.duration;
-      if (job.done) job.done();
-      start_next();
-    };
+    // One job is in service at a time, so it lives in `current_` and the
+    // completion event captures only `this`.
+    current_ = jobs_.pop_front();
     if (pool_) {
       // The thread stays busy while waiting for (and running on) a core.
-      pool_->acquire(d, std::move(finish));
+      pool_->acquire(current_.duration, [this] { finish_current(); });
     } else {
-      sim_.schedule_after(d, std::move(finish));
+      sim_.schedule_after(current_.duration, [this] { finish_current(); });
     }
+  }
+
+  void finish_current() {
+    total_busy_ += current_.duration;
+    busy_by_cat_[static_cast<size_t>(current_.cat)] += current_.duration;
+    InlineFunction done = std::move(current_.done);
+    if (done) done();
+    start_next();
   }
 
   Simulation& sim_;
   std::string name_;
   CorePool* pool_ = nullptr;
-  std::deque<Job> jobs_;
+  Ring<Job> jobs_;
+  Job current_{};
   bool busy_ = false;
   Duration total_busy_ = 0;
   Duration window_snapshot_ = 0;

@@ -4,15 +4,21 @@
 // rejection when full (Storm-style backpressure is built on top of
 // try_push + wait_for_space), and a QueueMonitor can sample the length —
 // the signal driving Whale's queue-based self-adjusting mechanism.
+//
+// Storage is a power-of-two ring that grows lazily toward the configured
+// capacity, so the thousands of per-task queues an engine creates cost no
+// memory until they actually buffer items.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
+#include "common/inline_function.h"
 #include "common/time.h"
+#include "sim/ring.h"
 
 namespace whale::sim {
 
@@ -50,24 +56,31 @@ class BoundedQueue {
 
   std::optional<T> try_pop() {
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item(items_.pop_front());
     ++popped_;
     if (!space_waiters_.empty()) {
-      auto fn = std::move(space_waiters_.front());
-      space_waiters_.pop_front();
+      auto fn = space_waiters_.pop_front();
       fn();
     }
     return item;
   }
 
-  const T& front() const { return items_.front(); }
+  const T& front() const {
+    // Always-on guard (not just assert): release builds compile asserts
+    // out, and a front() on an empty queue would otherwise read a
+    // destroyed slot and silently corrupt the run.
+    if (items_.empty()) {
+      assert(false && "BoundedQueue::front() on empty queue");
+      std::abort();
+    }
+    return items_.front();
+  }
 
   // Fires whenever the queue transitions empty -> non-empty (consumer wakeup).
-  void set_on_item(std::function<void()> fn) { on_item_ = std::move(fn); }
+  void set_on_item(InlineFunction fn) { on_item_ = std::move(fn); }
 
   // FIFO list of producers blocked on a full queue; each pop releases one.
-  void wait_for_space(std::function<void()> fn) {
+  void wait_for_space(InlineFunction fn) {
     space_waiters_.push_back(std::move(fn));
   }
 
@@ -79,9 +92,9 @@ class BoundedQueue {
 
  private:
   size_t capacity_;
-  std::deque<T> items_;
-  std::deque<std::function<void()>> space_waiters_;
-  std::function<void()> on_item_;
+  Ring<T> items_;
+  Ring<InlineFunction> space_waiters_;
+  InlineFunction on_item_;
   uint64_t pushed_ = 0;
   uint64_t popped_ = 0;
   uint64_t rejected_ = 0;

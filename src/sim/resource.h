@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "common/inline_function.h"
 #include "common/time.h"
+#include "sim/ring.h"
 #include "sim/simulation.h"
 
 namespace whale::sim {
@@ -35,10 +35,18 @@ class ThroughputResource {
   // Enqueues a transfer; `done` fires when the last bit has left the
   // resource (propagation is added by the fabric, not here). `fixed`
   // models per-message engine overhead (e.g. RNIC work-request setup)
-  // that occupies the resource in addition to the wire time.
-  void transfer(uint64_t bytes, std::function<void()> done,
-                Duration fixed = 0) {
-    jobs_.push_back(Job{transfer_time(bytes) + fixed, std::move(done)});
+  // that occupies the resource in addition to the wire time. `post_delay`
+  // >= 0 schedules `done` that much after the resource frees up WITHOUT
+  // occupying it (the fabric passes propagation here, so the completion
+  // chain needs no intermediate trampoline callback); a delay of 0 still
+  // goes through the event queue, exactly like schedule_after(0, done).
+  // The default (kNoPostDelay) invokes `done` inline at completion.
+  static constexpr Duration kNoPostDelay = -1;
+
+  void transfer(uint64_t bytes, InlineFunction done, Duration fixed = 0,
+                Duration post_delay = kNoPostDelay) {
+    jobs_.push_back(
+        Job{transfer_time(bytes) + fixed, post_delay, std::move(done)});
     bytes_total_ += bytes;
     if (!busy_) start_next();
   }
@@ -53,7 +61,8 @@ class ThroughputResource {
  private:
   struct Job {
     Duration duration;
-    std::function<void()> done;
+    Duration post_delay;
+    InlineFunction done;
   };
 
   void start_next() {
@@ -62,19 +71,30 @@ class ThroughputResource {
       return;
     }
     busy_ = true;
-    Job job = std::move(jobs_.front());
-    jobs_.pop_front();
-    sim_.schedule_after(job.duration, [this, job = std::move(job)]() mutable {
-      total_busy_ += job.duration;
-      if (job.done) job.done();
-      start_next();
-    });
+    // Single-server FCFS: the job in service lives in `current_`, so the
+    // completion event captures only `this` and stays inline.
+    current_ = jobs_.pop_front();
+    sim_.schedule_after(current_.duration, [this] { finish_current(); });
+  }
+
+  void finish_current() {
+    total_busy_ += current_.duration;
+    InlineFunction done = std::move(current_.done);
+    if (done) {
+      if (current_.post_delay >= 0) {
+        sim_.schedule_after(current_.post_delay, std::move(done));
+      } else {
+        done();
+      }
+    }
+    start_next();
   }
 
   Simulation& sim_;
   std::string name_;
   double bandwidth_bps_;
-  std::deque<Job> jobs_;
+  Ring<Job> jobs_;
+  Job current_{};
   bool busy_ = false;
   Duration total_busy_ = 0;
   uint64_t bytes_total_ = 0;

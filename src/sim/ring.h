@@ -1,0 +1,108 @@
+// Power-of-two ring deque.
+//
+// push_back/pop_front FIFO over a single contiguous slab, indexed with a
+// mask instead of modulo. Capacity grows lazily (geometric, starting small)
+// so the thousands of per-task queues the engine creates cost nothing until
+// they actually hold items — unlike std::deque, which allocates its map and
+// first chunk up front and then churns chunks at every boundary crossing.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace whale::sim {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  Ring(Ring&& other) noexcept { swap(other); }
+  Ring& operator=(Ring&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~Ring() { destroy(); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
+
+  void push_back(T item) {
+    if (size_ == cap_) grow(cap_ ? cap_ * 2 : kMinCapacity);
+    std::construct_at(slots_ + ((head_ + size_) & mask_), std::move(item));
+    ++size_;
+  }
+
+  T pop_front() {
+    assert(size_ > 0);
+    T* slot = slots_ + head_;
+    T item = std::move(*slot);
+    std::destroy_at(slot);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return item;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 8;
+
+  void grow(size_t want) {
+    size_t ncap = kMinCapacity;
+    while (ncap < want) ncap *= 2;
+    T* nslots = std::allocator<T>().allocate(ncap);
+    for (size_t i = 0; i < size_; ++i) {
+      T* src = slots_ + ((head_ + i) & mask_);
+      std::construct_at(nslots + i, std::move(*src));
+      std::destroy_at(src);
+    }
+    if (slots_) std::allocator<T>().deallocate(slots_, cap_);
+    slots_ = nslots;
+    cap_ = ncap;
+    mask_ = ncap - 1;
+    head_ = 0;
+  }
+
+  void destroy() {
+    for (size_t i = 0; i < size_; ++i) {
+      std::destroy_at(slots_ + ((head_ + i) & mask_));
+    }
+    if (slots_) std::allocator<T>().deallocate(slots_, cap_);
+    slots_ = nullptr;
+    cap_ = mask_ = head_ = size_ = 0;
+  }
+
+  void swap(Ring& other) {
+    std::swap(slots_, other.slots_);
+    std::swap(cap_, other.cap_);
+    std::swap(mask_, other.mask_);
+    std::swap(head_, other.head_);
+    std::swap(size_, other.size_);
+  }
+
+  T* slots_ = nullptr;
+  size_t cap_ = 0;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace whale::sim
