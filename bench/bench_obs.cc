@@ -1,0 +1,101 @@
+// Observability overhead benchmark: the end-to-end ride-hailing run from
+// bench_simkernel's "engine" phase, repeated with the obs layer (a) off
+// (the default config — this is the configuration the 3%-of-baseline
+// acceptance gate covers), (b) metrics enabled, (c) tracing enabled, and
+// (d) both. Reports events/sec per mode plus the relative slowdown vs
+// off, so instrumentation cost regressions show up as a number instead of
+// an anecdote. Fully deterministic apart from wall time.
+//
+// Output: one JSON object on stdout.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/ride_hailing_app.h"
+#include "core/engine.h"
+
+namespace whale {
+namespace {
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Mode {
+  const char* name;
+  bool metrics;
+  bool tracing;
+};
+
+struct Result {
+  uint64_t events = 0;
+  double wall_ns = 0;
+  size_t trace_events = 0;
+  size_t snapshots = 0;
+};
+
+Result run_mode(const Mode& m) {
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = core::SystemVariant::Whale();
+  cfg.seed = 42;
+  cfg.obs.metrics_enabled = m.metrics;
+  cfg.obs.tracing_enabled = m.tracing;
+  cfg.obs.trace_sample_stride = 16;
+  apps::RideHailingAppParams p;
+  p.matching_parallelism = 32;
+  p.aggregation_parallelism = 4;
+  p.driver_spout_parallelism = 2;
+  p.request_rate = dsps::RateProfile::constant(4000);
+  p.driver_rate = dsps::RateProfile::constant(3000);
+  core::Engine e(cfg, apps::build_ride_hailing(p).topology);
+
+  const double t0 = now_ns();
+  const auto& r = e.run(ms(100), ms(500));
+  const double t1 = now_ns();
+
+  Result res;
+  res.events = r.sim_events;
+  res.wall_ns = t1 - t0;
+  res.trace_events = e.tracer().events().size();
+  res.snapshots = e.metrics().num_snapshots();
+  return res;
+}
+
+}  // namespace
+}  // namespace whale
+
+int main() {
+  using namespace whale;
+  const Mode modes[] = {
+      {"off", false, false},
+      {"metrics", true, false},
+      {"tracing", false, true},
+      {"metrics+tracing", true, true},
+  };
+  // Warm-up to stabilise allocator caches before timing anything.
+  { auto warm = run_mode(modes[0]); (void)warm; }
+
+  Result results[4];
+  for (int i = 0; i < 4; ++i) results[i] = run_mode(modes[i]);
+
+  const double off_rate =
+      static_cast<double>(results[0].events) / (results[0].wall_ns / 1e9);
+  std::printf("{\n  \"bench\": \"obs_overhead\",\n  \"modes\": {\n");
+  for (int i = 0; i < 4; ++i) {
+    const Result& r = results[i];
+    const double rate = static_cast<double>(r.events) / (r.wall_ns / 1e9);
+    std::printf(
+        "    \"%s\": {\"events\": %llu, \"wall_ms\": %.2f, "
+        "\"events_per_sec\": %.0f, \"slowdown_vs_off\": %.4f, "
+        "\"trace_events\": %zu, \"snapshots\": %zu}%s\n",
+        modes[i].name, static_cast<unsigned long long>(r.events),
+        r.wall_ns / 1e6, rate, off_rate / rate, r.trace_events, r.snapshots,
+        i == 3 ? "" : ",");
+  }
+  std::printf("  }\n}\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "apps/fingerprint_suite.h"
+
+#include <stdexcept>
+
+#include "apps/ride_hailing_app.h"
+#include "apps/stock_app.h"
+#include "core/engine.h"
+#include "faults/plan.h"
+
+namespace whale::apps {
+
+namespace {
+
+core::EngineConfig base_config(core::SystemVariant v) {
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = v;
+  cfg.seed = 42;
+  return cfg;
+}
+
+RideHailingAppParams ride_params() {
+  RideHailingAppParams p;
+  p.matching_parallelism = 32;
+  p.aggregation_parallelism = 4;
+  p.driver_spout_parallelism = 2;
+  p.request_rate = dsps::RateProfile::constant(3000);
+  p.driver_rate = dsps::RateProfile::constant(2000);
+  return p;
+}
+
+FingerprintLine probe_ride(const std::string& label, core::SystemVariant v,
+                           const ConfigMutator& mutate) {
+  core::EngineConfig cfg = base_config(v);
+  if (mutate) mutate(cfg);
+  core::Engine e(cfg, build_ride_hailing(ride_params()).topology);
+  const auto& r = e.run(ms(100), ms(300));
+  return {"fig13/" + label, r.fingerprint()};
+}
+
+FingerprintLine probe_stock(const std::string& label, core::SystemVariant v,
+                            const ConfigMutator& mutate) {
+  core::EngineConfig cfg = base_config(v);
+  if (mutate) mutate(cfg);
+  StockAppParams p;
+  p.matching_parallelism = 32;
+  p.aggregation_parallelism = 4;
+  p.order_rate = dsps::RateProfile::constant(3000);
+  core::Engine e(cfg, build_stock_exchange(p).topology);
+  const auto& r = e.run(ms(100), ms(300));
+  return {"fig15/" + label, r.fingerprint()};
+}
+
+FingerprintLine probe_faults(const ConfigMutator& mutate) {
+  core::EngineConfig cfg = base_config(core::SystemVariant::Whale());
+  cfg.enable_acking = true;
+  cfg.replay_on_failure = true;
+  cfg.ack_timeout = ms(120);
+  cfg.faults = faults::FaultPlan::random(/*seed=*/7, cfg.cluster.num_nodes,
+                                         /*horizon=*/ms(400),
+                                         /*num_faults=*/6);
+  if (mutate) mutate(cfg);
+  core::Engine e(cfg, build_ride_hailing(ride_params()).topology);
+  const auto& r = e.run(ms(100), ms(300));
+  return {"faults/whale-seeded", r.fingerprint()};
+}
+
+}  // namespace
+
+std::vector<std::string> fingerprint_probe_labels() {
+  return {"fig13/storm", "fig13/rdma-storm", "fig13/whale-woc", "fig13/whale",
+          "fig15/storm", "fig15/rdmc",       "fig15/whale",
+          "faults/whale-seeded"};
+}
+
+FingerprintLine run_fingerprint_probe(const std::string& label,
+                                      const ConfigMutator& mutate) {
+  if (label == "fig13/storm") {
+    return probe_ride("storm", core::SystemVariant::Storm(), mutate);
+  }
+  if (label == "fig13/rdma-storm") {
+    return probe_ride("rdma-storm", core::SystemVariant::RdmaStorm(), mutate);
+  }
+  if (label == "fig13/whale-woc") {
+    return probe_ride("whale-woc", core::SystemVariant::WhaleWoc(), mutate);
+  }
+  if (label == "fig13/whale") {
+    return probe_ride("whale", core::SystemVariant::Whale(), mutate);
+  }
+  if (label == "fig15/storm") {
+    return probe_stock("storm", core::SystemVariant::Storm(), mutate);
+  }
+  if (label == "fig15/rdmc") {
+    return probe_stock("rdmc", core::SystemVariant::Rdmc(), mutate);
+  }
+  if (label == "fig15/whale") {
+    return probe_stock("whale", core::SystemVariant::Whale(), mutate);
+  }
+  if (label == "faults/whale-seeded") {
+    return probe_faults(mutate);
+  }
+  throw std::out_of_range("unknown fingerprint probe: " + label);
+}
+
+std::vector<FingerprintLine> run_fingerprint_suite(
+    const ConfigMutator& mutate) {
+  std::vector<FingerprintLine> out;
+  for (const auto& label : fingerprint_probe_labels()) {
+    out.push_back(run_fingerprint_probe(label, mutate));
+  }
+  return out;
+}
+
+}  // namespace whale::apps

@@ -8,6 +8,7 @@
 #include "multicast/controller.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
+#include "obs/obs.h"
 #include "rdma/verbs.h"
 #include "core/variant.h"
 
@@ -81,6 +82,11 @@ struct EngineConfig {
   // stride for per-tuple multicast/comm-time tracking (1 = every tuple).
   Duration timeseries_bin = ms(20);
   uint64_t tuple_sample_stride = 1;
+
+  // Observability layer (src/obs): metrics snapshots + lifecycle tracing.
+  // Default-off; when off the engine schedules no extra events and the
+  // workload fingerprints are bit-identical to an uninstrumented build.
+  obs::ObsConfig obs;
 };
 
 }  // namespace whale::core

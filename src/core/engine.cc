@@ -68,6 +68,124 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
           topo_.ops[static_cast<size_t>(s.to_op)].parallelism);
     }
   }
+  obs_setup();
+}
+
+void Engine::obs_setup() {
+  if (!obs::kCompiled) return;
+  metrics_.configure(cfg_.obs.metrics_enabled, cfg_.obs.snapshot_interval);
+  tracer_.configure(cfg_.obs.tracing_enabled, cfg_.obs.trace_sample_stride,
+                    cfg_.obs.max_trace_events);
+  fabric_->set_tracer(&tracer_);
+
+  if (trace_on()) {
+    // Structural tree changes land as instants on the source's control
+    // lane; the surrounding repair *episode* (pause -> reconfigure -> ACKs)
+    // is the complete span emitted by finish_repair.
+    for (auto& gp : groups_) {
+      McastGroup* g = gp.get();
+      gp->tree.set_repair_observer(
+          [this, g](const char* op, int node, size_t moves) {
+            tracer_.instant(op, "mcast", g->src_worker, obs::kLaneControl,
+                            sim_.now(), 0, "moves",
+                            static_cast<double>(moves));
+            (void)node;
+          });
+    }
+  }
+
+  if (!metrics_.enabled()) return;
+  fabric_->enable_link_stats();
+  c_roots_ = metrics_.counter("obs.roots_emitted");
+  c_input_drops_ = metrics_.counter("obs.input_drops");
+  c_queue_rejects_ = metrics_.counter("obs.queue_rejects");
+  c_sink_ = metrics_.counter("obs.sink_completions");
+  c_lost_ = metrics_.counter("obs.tuples_lost_engine");
+  c_lost_qp_ = metrics_.counter("obs.tuples_lost_qp");
+  c_qp_fabric_drops_ = metrics_.counter("obs.qp_fabric_drops");
+  c_inflight_ = metrics_.counter("obs.inflight_end");
+  h_sink_latency_ = metrics_.histogram("obs.sink_latency");
+
+  for (auto& wp : workers_) {
+    WorkerRt* w = wp.get();
+    const std::string prefix = "worker" + std::to_string(w->id);
+    metrics_.gauge(prefix + ".transfer_queue", [w] {
+      return static_cast<double>(w->transfer_queue->size());
+    });
+    metrics_.gauge(prefix + ".ring_bytes", [w] {
+      double b = 0.0;
+      for (const auto& qp : w->data_qps) {
+        if (qp && qp->ring()) b += static_cast<double>(qp->ring()->used());
+      }
+      return b;
+    });
+    metrics_.gauge("node" + std::to_string(w->node) + ".egress_bytes",
+                   [this, w] {
+                     return static_cast<double>(
+                         fabric_->bytes_sent(net::Transport::kTcp, w->node) +
+                         fabric_->bytes_sent(net::Transport::kRdma, w->node));
+                   });
+  }
+  for (auto& tp : tasks_) {
+    TaskRt* t = tp.get();
+    metrics_.gauge("task" + std::to_string(t->id) + ".in_queue", [t] {
+      return static_cast<double>(t->in_queue->size());
+    });
+  }
+  // The controller's own input signal (Eq. 1-3): the source instance's
+  // queue depth plus its worker's transfer queue.
+  if (primary_src_worker_ >= 0) {
+    WorkerRt* sw = workers_[static_cast<size_t>(primary_src_worker_)].get();
+    metrics_.gauge("src.transfer_queue", [sw] {
+      return static_cast<double>(sw->transfer_queue->size());
+    });
+  }
+  if (primary_src_task_ >= 0) {
+    TaskRt* st = tasks_[static_cast<size_t>(primary_src_task_)].get();
+    metrics_.gauge("src.in_queue", [st] {
+      return static_cast<double>(st->in_queue->size());
+    });
+  }
+  for (auto& gp : groups_) {
+    McastGroup* g = gp.get();
+    const std::string prefix = "group" + std::to_string(g->id);
+    metrics_.gauge(prefix + ".dstar", [g] {
+      return static_cast<double>(g->tree.max_out_degree());
+    });
+    metrics_.gauge(prefix + ".tree_depth", [g] {
+      return static_cast<double>(g->tree.depth());
+    });
+  }
+  metrics_.gauge("acker.pending",
+                 [this] { return static_cast<double>(acker_.pending()); });
+}
+
+void Engine::obs_finalize() {
+  if (!metrics_on()) return;
+  uint64_t qp_lost = 0;
+  uint64_t qp_drops = 0;
+  uint64_t inflight = 0;
+  for (const auto& wp : workers_) {
+    inflight += wp->transfer_queue->size();
+    for (const auto& qp : wp->data_qps) {
+      if (!qp) continue;
+      qp_lost += qp->packets_lost();
+      qp_drops += qp->fabric_drops();
+      inflight += qp->packets_pending();
+    }
+    for (const auto& sl : wp->slicers) {
+      if (sl) inflight += sl->buffered_tuples();
+    }
+  }
+  for (const auto& tp : tasks_) {
+    inflight += tp->in_queue->size();
+    // A task stuck mid-processing (its emission blocked on a queue that
+    // will never drain) holds exactly one tuple instance in limbo.
+    if (tp->processing) ++inflight;
+  }
+  c_lost_qp_->set(qp_lost);
+  c_qp_fabric_drops_->set(qp_drops);
+  c_inflight_->set(inflight);
 }
 
 std::pair<Duration, sim::CpuCategory> Engine::source_send_cost(
@@ -339,6 +457,11 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
         report_.ack_latency.add(sim_.now() - emit);
         if (was_replayed) ++report_.replay_completions;
       }
+      if (trace_on() && tracer_.sampled(root)) {
+        tracer_.instant("ack.complete", "app",
+                        primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                        obs::kLaneControl, sim_.now(), root);
+      }
     });
     acker_.set_on_fail([this](uint64_t root) {
       pending_edges_.erase(root);
@@ -364,8 +487,22 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
   start_monitoring();
   sim_.schedule_at(window_start_, [this] { snapshot_at_window_start(); });
 
+  // Metrics snapshots on the simulated-time cadence. Gated on the registry
+  // being enabled: a disabled registry schedules ZERO events here, which is
+  // what keeps the workload fingerprints (events= included) bit-identical.
+  if (metrics_on()) {
+    metrics_.snapshot(sim_.now());
+    loop_async([this](auto next) {
+      sim_.schedule_after(metrics_.snapshot_interval(), [this, next] {
+        metrics_.snapshot(sim_.now());
+        if (sim_.now() < window_end_) next();
+      });
+    });
+  }
+
   sim_.run_until(window_end_);
   finalize_report(measure);
+  obs_finalize();
   return report_;
 }
 
@@ -535,6 +672,11 @@ void Engine::schedule_arrival(int task) {
     mut->root_id = next_root_id_++;
     mut->root_emit_time = sim_.now();
     if (in_window()) ++report_.roots_emitted;
+    if (c_roots_) c_roots_->inc();
+    if (trace_on() && tracer_.sampled(mut->root_id)) {
+      tracer_.instant("spout.emit", "app", tk.worker, obs::kLaneApp,
+                      sim_.now(), mut->root_id);
+    }
     if (cfg_.enable_acking) {
       acker_.root_emitted(mut->root_id, sim_.now());
       if (cfg_.replay_on_failure && replays_.size() < kMaxTrackedTuples) {
@@ -543,6 +685,7 @@ void Engine::schedule_arrival(int task) {
     }
     if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
       if (in_window()) ++report_.input_drops;
+      if (c_input_drops_) c_input_drops_->inc();
       if (cfg_.enable_acking) acker_.fail(tuple->root_id);
     }
     // Stream-rate monitoring for the self-adjusting controller.
@@ -604,6 +747,10 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
         report_.lat_sum_series.add(sim_.now(), static_cast<double>(lat));
         report_.lat_cnt_series.add(sim_.now(), 1.0);
       }
+      if (c_sink_) c_sink_->inc();
+      if (h_sink_latency_) {
+        h_sink_latency_->add(sim_.now() - tuple->root_emit_time);
+      }
     }
   }
   // The M/D/1 model's per-tuple fixed term includes the source's own
@@ -614,10 +761,16 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
   TaskRt* traw = &t;
   const bool is_spout = t.spout != nullptr;
   const uint64_t root = tuple->root_id;
+  const char* span_name =
+      is_spout ? "spout.next" : (op.out_streams.empty() ? "sink" : "bolt.execute");
   t.cpu->execute(
       cost, sim::CpuCategory::kAppLogic,
-      [this, traw, root, ack_edge, is_spout,
+      [this, traw, root, ack_edge, is_spout, cost, span_name,
        emissions = std::move(emissions)]() mutable {
+        if (trace_on() && tracer_.sampled(root)) {
+          tracer_.complete(span_name, "app", traw->worker, obs::kLaneApp,
+                           sim_.now() - cost, cost, root);
+        }
         route_emissions(
             *traw, std::move(emissions),
             [this, traw, root, ack_edge, is_spout] {
@@ -720,6 +873,7 @@ void Engine::deliver_local(TaskRt& dst,
   if (workers_[static_cast<size_t>(dst.worker)]->down) {
     // No NACK from a dead worker: the loss surfaces as an ack timeout.
     ++tuples_lost_;
+    if (c_lost_) c_lost_->inc();
     return;
   }
   // All-grouped deliveries feed the multicast-reception tracker.
@@ -733,6 +887,7 @@ void Engine::deliver_local(TaskRt& dst,
   }
   if (!dst.in_queue->try_push(d)) {
     if (in_window()) ++report_.queue_rejects;
+    if (c_queue_rejects_) c_queue_rejects_->inc();
     // A dropped tuple instance can never be acked: fail the whole root
     // (Storm would replay it after the message timeout).
     if (cfg_.enable_acking) acker_.fail(tup->root_id);
@@ -833,7 +988,12 @@ void Engine::send_point_to_point(TaskRt& t,
         }
         traw->cpu->execute(
             ser, sim::CpuCategory::kSerialization,
-            [this, traw, bytes = std::move(bytes), d, next, track_root, &w] {
+            [this, traw, bytes = std::move(bytes), d, next, track_root, ser,
+             root = tup->root_id, &w] {
+              if (trace_on() && tracer_.sampled(root)) {
+                tracer_.complete("serialize", "app", traw->worker,
+                                 obs::kLaneApp, sim_.now() - ser, ser, root);
+              }
               const auto [send_cost, send_cat] = source_send_cost(
                   bytes->size());
               traw->cpu->execute(
@@ -882,7 +1042,7 @@ void Engine::send_point_to_point(TaskRt& t,
     }
     auto idx = std::make_shared<size_t>(0);
     loop_async([this, traw, targets, idx, first_ser, track_root,
-                done = std::move(done), &w](auto next) {
+                root = tup->root_id, done = std::move(done), &w](auto next) {
       if (*idx >= targets->size()) {
         done();
         return;
@@ -893,7 +1053,11 @@ void Engine::send_point_to_point(TaskRt& t,
       const Duration d = (*idx == 1) ? first_ser : cfg_.woc_header_cost;
       traw->cpu->execute(
           d, sim::CpuCategory::kSerialization,
-          [this, traw, &tgt, next, track_root, &w] {
+          [this, traw, &tgt, next, track_root, d, root, &w] {
+            if (trace_on() && tracer_.sampled(root)) {
+              tracer_.complete("serialize", "app", traw->worker,
+                               obs::kLaneApp, sim_.now() - d, d, root);
+            }
             const auto [send_cost, send_cat] =
                 source_send_cost(tgt.bytes->size());
             traw->cpu->execute(send_cost, send_cat,
@@ -985,10 +1149,14 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
   t.cpu->execute(ser, sim::CpuCategory::kSerialization, [this, traw, graw,
                                                          tup, root, tracked,
                                                          framed, body,
-                                                         body_len,
+                                                         body_len, ser,
                                                          done = std::move(
                                                              done),
                                                          &w]() mutable {
+    if (trace_on() && tracer_.sampled(root)) {
+      tracer_.complete("serialize", "app", traw->worker, obs::kLaneApp,
+                       sim_.now() - ser, ser, root);
+    }
     // Local dispatch to destination instances hosted with the source.
     const auto& locals =
         w.op_local_tasks[static_cast<size_t>(graw->dst_op)];
@@ -1047,6 +1215,7 @@ void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
       // The producing worker died (possibly while blocked on a full
       // queue): the message is lost but the executor chain must unwind.
       ++tuples_lost_;
+      if (c_lost_ && !m->control) c_lost_->inc();
       done();
       return;
     }
@@ -1108,6 +1277,7 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
     // The connection to a crashed peer is in error state: the send fails
     // and the message is dropped (the ack timeout recovers the root).
     ++tuples_lost_;
+    if (c_lost_ && !msg.control) c_lost_->inc();
     resume();
     return;
   }
@@ -1122,11 +1292,12 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
       // to the kernel/NIC. Receive-side protocol runs on the recv thread.
       w.send_cpu->execute(
           cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
-          [this, wr, dst_worker, sz, pkt = std::move(pkt), resume]() mutable {
+          [this, wr, dst_worker, sz, ctrl = msg.control,
+           pkt = std::move(pkt), resume]() mutable {
             auto& dw = *workers_[static_cast<size_t>(dst_worker)];
             WorkerRt* draw = &dw;
             const int src_worker = wr->id;
-            fabric_->transmit(
+            const bool sent = fabric_->transmit(
                 net::Transport::kTcp, wr->node, dw.node, sz,
                 [this, draw, sz, src_worker, pkt = std::move(pkt)]() mutable {
                   draw->recv_cpu->execute(
@@ -1135,6 +1306,11 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
                         handle_bytes(*draw, std::move(pkt), src_worker);
                       });
                 });
+            // Dropped at fabric entry (partition / dead link): the message
+            // vanished without a delivery callback. tuples_lost_ is NOT
+            // bumped here to keep legacy reports unchanged; the obs layer
+            // accounts for it so conservation still balances.
+            if (!sent && c_lost_ && !ctrl) c_lost_->inc();
             resume();
           });
       break;
@@ -1189,6 +1365,13 @@ void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
     // In-flight delivery racing a crash: the process it was addressed to
     // no longer exists.
     ++tuples_lost_;
+    if (c_lost_) {
+      const MsgKind k = peek(*pkt.bytes).kind;
+      if (k == MsgKind::kInstanceData || k == MsgKind::kBatchData ||
+          k == MsgKind::kMcastData) {
+        c_lost_->inc();
+      }
+    }
     return;
   }
   const Envelope env = peek(*pkt.bytes);
@@ -1225,16 +1408,21 @@ void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
 void Engine::dispatch_instance(WorkerRt& w, rdma::Packet pkt) {
   const uint64_t sz = pkt.size();
   WorkerRt* wr = &w;
+  const Duration cost =
+      cfg_.cost.deser_time(sz) + cfg_.cost.dispatch_per_tuple;
   w.recv_cpu->execute(
-      cfg_.cost.deser_time(sz) + cfg_.cost.dispatch_per_tuple,
-      sim::CpuCategory::kSerialization, [this, wr, pkt = std::move(pkt)] {
+      cost, sim::CpuCategory::kSerialization,
+      [this, wr, cost, pkt = std::move(pkt)] {
         const Envelope env = peek(*pkt.bytes);
         auto m = dsps::TupleSerde::decode_instance_message(
             payload_of(*pkt.bytes, env));
         auto tup = std::make_shared<const dsps::Tuple>(std::move(m.tuple));
+        if (trace_on() && tracer_.sampled(tup->root_id)) {
+          tracer_.complete("dispatch", "recv", wr->id, obs::kLaneRecv,
+                           sim_.now() - cost, cost, tup->root_id);
+        }
         deliver_local(*tasks_[static_cast<size_t>(m.dst_task)],
                       std::move(tup));
-        (void)wr;
       });
 }
 
@@ -1248,10 +1436,16 @@ void Engine::dispatch_batch(WorkerRt& w, rdma::Packet pkt) {
   const Duration cost =
       cfg_.cost.deser_time(sz) +
       cfg_.cost.dispatch_per_tuple * static_cast<Duration>(m.dst_tasks.size());
+  WorkerRt* wr = &w;
   w.recv_cpu->execute(cost, sim::CpuCategory::kSerialization,
-                      [this, m = std::move(m)] {
+                      [this, wr, cost, m = std::move(m)] {
                         auto tup = std::make_shared<const dsps::Tuple>(
                             std::move(m.tuple));
+                        if (trace_on() && tracer_.sampled(tup->root_id)) {
+                          tracer_.complete("dispatch", "recv", wr->id,
+                                           obs::kLaneRecv, sim_.now() - cost,
+                                           cost, tup->root_id);
+                        }
                         for (int32_t d : m.dst_tasks) {
                           deliver_local(*tasks_[static_cast<size_t>(d)], tup);
                         }
@@ -1275,12 +1469,17 @@ void Engine::dispatch_mcast(WorkerRt& w, rdma::Packet pkt,
   WorkerRt* wr = &w;
   McastGroup* graw = &g;
   const int ep = my_endpoint;
+  const Duration deser = cfg_.cost.deser_time(sz);
   w.recv_cpu->execute(
-      cfg_.cost.deser_time(sz), sim::CpuCategory::kSerialization,
-      [this, wr, graw, ep, pkt = std::move(pkt), e] {
+      deser, sim::CpuCategory::kSerialization,
+      [this, wr, graw, ep, deser, pkt = std::move(pkt), e] {
         ByteReader r(payload_of(*pkt.bytes, e));
         auto tup = std::make_shared<const dsps::Tuple>(
             dsps::TupleSerde::decode_body(r));
+        if (trace_on() && tracer_.sampled(tup->root_id)) {
+          tracer_.complete("dispatch", "recv", wr->id, obs::kLaneRecv,
+                           sim_.now() - deser, deser, tup->root_id);
+        }
         if (graw->worker_level) {
           const auto& locals =
               wr->op_local_tasks[static_cast<size_t>(graw->dst_op)];
@@ -1320,9 +1519,24 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
     // small forwarding charge lands on the relay's receive thread. The
     // push waits for queue space instead of dropping: relayed traffic is
     // backpressured just like locally produced traffic (the RDMA channel
-    // would block the same way).
-    w.recv_cpu->execute(cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
-                        [] {});
+    // would block the same way). Under tracing the sampled root id rides
+    // along so downstream hops land in the same trace track; the comm
+    // tracker ignores relayed ids (its guards key on the source worker).
+    if (trace_on()) m.root_id = pkt.id;
+    if (trace_on() && tracer_.sampled(pkt.id)) {
+      WorkerRt* wr = &w;
+      const Duration fwd = cfg_.cost.local_enqueue;
+      const uint64_t root = pkt.id;
+      w.recv_cpu->execute(fwd, sim::CpuCategory::kDispatch,
+                          [this, wr, fwd, root] {
+                            tracer_.complete("relay.forward", "recv", wr->id,
+                                             obs::kLaneRecv, sim_.now() - fwd,
+                                             fwd, root);
+                          });
+    } else {
+      w.recv_cpu->execute(cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
+                          [] {});
+    }
     push_out(w, std::move(m), [] {});
   }
 }
@@ -1572,6 +1786,7 @@ void Engine::arm_faults() {
   };
   injector_ = std::make_unique<faults::FaultInjector>(sim_, cfg_.faults,
                                                       std::move(h));
+  if (obs::kCompiled) injector_->set_tracer(&tracer_);
   injector_->arm();
 }
 
@@ -1613,10 +1828,16 @@ void Engine::on_node_crash(int node) {
   // The process is gone: everything queued inside it is lost. The acker's
   // timeout turns those losses into failed (and possibly replayed) roots —
   // there is no explicit NACK, exactly like a real worker death.
-  while (w.transfer_queue->try_pop()) ++tuples_lost_;
+  while (auto m = w.transfer_queue->try_pop()) {
+    ++tuples_lost_;
+    if (c_lost_ && !m->control) c_lost_->inc();
+  }
   for (auto& t : tasks_) {
     if (t->worker != node) continue;
-    while (t->in_queue->try_pop()) ++tuples_lost_;
+    while (t->in_queue->try_pop()) {
+      ++tuples_lost_;
+      if (c_lost_) c_lost_->inc();
+    }
     t->processing = false;
   }
   reset_qps_touching(node);
@@ -1757,6 +1978,12 @@ void Engine::finish_repair(McastGroup& g) {
   const Duration took = sim_.now() - g.repair_start;
   report_.repair_time_total += took;
   report_.repair_time_max = std::max(report_.repair_time_max, took);
+  if (trace_on()) {
+    // Recovery episodes are traced regardless of the sampling stride.
+    tracer_.complete("mcast.repair", "fault", g.src_worker, obs::kLaneControl,
+                     g.repair_start, took, 0, "group",
+                     static_cast<double>(g.id));
+  }
   auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
   if (!sw.down) {
     sw.paused = false;
@@ -1788,10 +2015,18 @@ void Engine::maybe_replay(uint64_t root) {
   tuple->root_id = root;
   tuple->root_emit_time = sim_.now();
   ++report_.replayed_roots;
+  // Each replay is a fresh emission instance for conservation purposes:
+  // the earlier instance was already written off as lost/dropped.
+  if (c_roots_) c_roots_->inc();
+  if (trace_on() && tracer_.sampled(root)) {
+    tracer_.instant("replay", "app", tk.worker, obs::kLaneApp, sim_.now(),
+                    root);
+  }
   acker_.root_emitted(root, sim_.now());
   if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
     // Spout queue full: fail again, which re-enters maybe_replay (bounded
     // by max_replays_per_root).
+    if (c_input_drops_) c_input_drops_->inc();
     acker_.fail(root);
   }
 }
@@ -1802,6 +2037,11 @@ void Engine::finish_switch(McastGroup& g) {
   g.controller->confirm(g.pending_dstar);
   g.switching = false;
   const Duration took = sim_.now() - g.switch_start;
+  if (trace_on()) {
+    tracer_.complete("mcast.switch", "mcast", g.src_worker, obs::kLaneControl,
+                     g.switch_start, took, 0, "dstar",
+                     static_cast<double>(g.pending_dstar));
+  }
   if (in_window() || sim_.now() >= window_start_) {
     ++report_.switches_completed;
     report_.switch_time_total += took;

@@ -29,6 +29,8 @@
 #include "multicast/controller.h"
 #include "multicast/tree.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdma/verbs.h"
 #include "sim/cpu.h"
 #include "sim/queue.h"
@@ -65,6 +67,16 @@ class Engine {
   }
   int group_dstar(size_t g) const;
   uint64_t transfer_queue_len(int worker) const;
+
+  // --- observability -----------------------------------------------------
+  // Configured from cfg_.obs at construction; both are inert (zero extra
+  // simulation events, zero counter traffic) unless enabled there.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  // Recomputes the derived end-of-run obs counters (QP losses, fabric
+  // drops, in-flight census). Idempotent: run() calls it once; tests that
+  // drain post-window events may call it again for a settled census.
+  void obs_finalize();
 
  private:
   // An outbound message waiting in a worker's transfer queue.
@@ -251,6 +263,11 @@ class Engine {
   void finalize_report(Duration measure);
   void snapshot_at_window_start();
 
+  // --- observability ----------------------------------------------------------
+  void obs_setup();
+  bool metrics_on() const { return obs::kCompiled && metrics_.enabled(); }
+  bool trace_on() const { return obs::kCompiled && tracer_.enabled(); }
+
   EngineConfig cfg_;
   dsps::Topology topo_;
   sim::Simulation sim_;
@@ -307,6 +324,23 @@ class Engine {
   // Queue sampling accumulators.
   double queue_len_accum_ = 0.0;
   uint64_t queue_samples_ = 0;
+
+  // Observability. Counter pointers are cached at setup and stay null while
+  // metrics are disabled, so every hot-path hook is a single null check.
+  // The obs.* counters are WHOLE-RUN (not window-gated like RunReport):
+  // the invariant sweep balances them against each other, which only works
+  // if every emission/loss/completion is counted regardless of window.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  obs::Counter* c_roots_ = nullptr;         // spout emissions (replays too)
+  obs::Counter* c_input_drops_ = nullptr;   // spout in-queue rejections
+  obs::Counter* c_queue_rejects_ = nullptr; // executor in-queue rejections
+  obs::Counter* c_sink_ = nullptr;          // sink-operator completions
+  obs::Counter* c_lost_ = nullptr;          // engine-level data losses
+  obs::Counter* c_lost_qp_ = nullptr;       // QP reset losses (finalized)
+  obs::Counter* c_qp_fabric_drops_ = nullptr;  // QP->fabric drops (finalized)
+  obs::Counter* c_inflight_ = nullptr;      // end-of-run census (finalized)
+  LatencyHistogram* h_sink_latency_ = nullptr;
 
   RunReport report_;
 };

@@ -13,6 +13,10 @@
 #include "faults/plan.h"
 #include "sim/simulation.h"
 
+namespace whale::obs {
+class Tracer;
+}
+
 namespace whale::faults {
 
 struct FaultHooks {
@@ -32,15 +36,22 @@ class FaultInjector {
   // simulation past the earliest fault time.
   void arm();
 
+  // Optional tracer: each fired fault lands as an instant event on the
+  // affected node's control lane (set before arm(); may stay null).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   uint64_t crashes_fired() const { return crashes_fired_; }
   uint64_t restarts_fired() const { return restarts_fired_; }
   uint64_t link_faults_fired() const { return link_faults_fired_; }
   uint64_t stalls_fired() const { return stalls_fired_; }
 
  private:
+  void trace_instant(const char* name, int node);
+
   sim::Simulation& sim_;
   FaultPlan plan_;
   FaultHooks hooks_;
+  obs::Tracer* tracer_ = nullptr;
   bool armed_ = false;
 
   uint64_t crashes_fired_ = 0;

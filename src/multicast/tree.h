@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,17 @@ class MulticastTree {
   }
   int num_removed() const;
 
+  // Observation hook: invoked at the end of repair()/restore() with the
+  // operation name, the node involved and the number of re-connections
+  // performed. Planning calls (plan_scale_down/up) do NOT fire it. The
+  // observer is copied along with the tree (dynamic switching clones
+  // trees), so keep its state shared — e.g. a pointer into the engine.
+  using RepairObserver =
+      std::function<void(const char* op, int node, size_t moves)>;
+  void set_repair_observer(RepairObserver fn) {
+    repair_observer_ = std::move(fn);
+  }
+
  private:
   void add_child(int parent, int child);
   void detach(int v);
@@ -106,6 +118,7 @@ class MulticastTree {
   // removed_[v] != 0 marks a crashed node: detached, absent from order_,
   // ignored by validate() and slot search. Lazily sized (empty == none).
   std::vector<uint8_t> removed_;
+  RepairObserver repair_observer_;
 };
 
 }  // namespace whale::multicast

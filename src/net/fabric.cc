@@ -39,22 +39,43 @@ void Fabric::restore_link(int src, int dst) {
   degraded_.erase(link_key(src, dst));
 }
 
-void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
+bool Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
                       InlineFunction delivered, Duration engine_fixed) {
   assert(src >= 0 && src < spec_.num_nodes);
   assert(dst >= 0 && dst < spec_.num_nodes);
+  LinkStats* ls = nullptr;
+  if (link_stats_enabled_) {
+    ls = &link_stats_[link_key(src, dst)];
+    ++ls->msgs_sent;
+    ls->bytes_sent += payload_bytes;
+  }
   if (!node_up(src) || !node_up(dst)) {
     // A dead endpoint: the message vanishes (the sender's NIC may not even
     // exist anymore). Recovery is the upper layers' job — the acker times
     // the lost tuple out and the spout replays it.
     ++messages_dropped_;
     bytes_dropped_ += payload_bytes;
-    return;
+    if (ls) {
+      ++ls->msgs_dropped;
+      ls->bytes_dropped += payload_bytes;
+    }
+    return false;
+  }
+  if (ls) {
+    // Wrap the delivery continuation to close the sent==delivered+dropped
+    // books when it fires. The capture exceeds InlineFunction's inline
+    // buffer, so this costs one heap allocation per message — acceptable,
+    // because the wrapper only exists while link stats are enabled.
+    delivered = [ls, payload_bytes, inner = std::move(delivered)]() mutable {
+      ++ls->msgs_delivered;
+      ls->bytes_delivered += payload_bytes;
+      if (inner) inner();
+    };
   }
   if (src == dst) {
     // Loopback: no NIC involvement; deliver on the next event tick.
     sim_.schedule_after(0, std::move(delivered));
-    return;
+    return true;
   }
   const LinkState* link = nullptr;
   auto lit = degraded_.find(link_key(src, dst));
@@ -63,7 +84,11 @@ void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
     if (link->bandwidth_factor <= 0.0) {
       ++messages_dropped_;  // partitioned link
       bytes_dropped_ += payload_bytes;
-      return;
+      if (ls) {
+        ++ls->msgs_dropped;
+        ls->bytes_dropped += payload_bytes;
+      }
+      return false;
     }
   }
   const uint64_t wire = cost_.wire_bytes(t, payload_bytes);
@@ -86,6 +111,12 @@ void Fabric::transmit(Transport t, int src, int dst, uint64_t payload_bytes,
   // trampoline callback, so small delivery continuations stay inline in
   // the event slab.
   nic.transfer(wire, std::move(delivered), fixed, prop);
+  return true;
+}
+
+const Fabric::LinkStats* Fabric::link_stats(int src, int dst) const {
+  auto it = link_stats_.find(link_key(src, dst));
+  return it == link_stats_.end() ? nullptr : &it->second;
 }
 
 uint64_t Fabric::total_bytes_sent(Transport t) const {

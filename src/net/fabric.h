@@ -21,6 +21,10 @@
 #include "sim/resource.h"
 #include "sim/simulation.h"
 
+namespace whale::obs {
+class Tracer;
+}
+
 namespace whale::net {
 
 class Fabric {
@@ -36,7 +40,11 @@ class Fabric {
   // has fully arrived. src == dst short-circuits (no NIC, no propagation).
   // `engine_fixed` occupies the egress engine per message in addition to
   // the wire time (RNIC per-work-request processing).
-  void transmit(Transport t, int src, int dst, uint64_t payload_bytes,
+  // Returns false iff the message was dropped at entry (dead endpoint or
+  // partitioned link) — `delivered` will never fire in that case. Callers
+  // that existed before the observability layer ignore the result; the obs
+  // counters use it to attribute losses to the layer that sent the message.
+  bool transmit(Transport t, int src, int dst, uint64_t payload_bytes,
                 InlineFunction delivered, Duration engine_fixed = 0);
 
   // Egress byte counters per node/transport (traffic figures 27/28).
@@ -75,6 +83,37 @@ class Fabric {
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t bytes_dropped() const { return bytes_dropped_; }
 
+  // --- observability -----------------------------------------------------
+  // Per-directed-link payload accounting (sent at transmit entry, including
+  // messages dropped there; delivered when the destination callback fires).
+  // Off by default: when disabled, transmit() takes the exact pre-existing
+  // path — no wrapper callback, no map lookups, no extra allocations.
+  struct LinkStats {
+    uint64_t msgs_sent = 0;
+    uint64_t msgs_delivered = 0;
+    uint64_t msgs_dropped = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_delivered = 0;
+    uint64_t bytes_dropped = 0;
+  };
+  void enable_link_stats() { link_stats_enabled_ = true; }
+  bool link_stats_enabled() const { return link_stats_enabled_; }
+  // nullptr when the link has carried no traffic (or stats are disabled).
+  const LinkStats* link_stats(int src, int dst) const;
+  template <typename Fn>
+  void for_each_link(Fn&& fn) const {
+    for (const auto& [key, stats] : link_stats_) {
+      fn(static_cast<int>(key >> 32),
+         static_cast<int>(key & 0xFFFFFFFFu), stats);
+    }
+  }
+
+  // The tracer is owned by the engine; the fabric holds the pointer so the
+  // rdma layer (which sees the fabric but not the engine) can emit
+  // transfer spans. May be null.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct LinkState {
     double bandwidth_factor = 1.0;
@@ -97,6 +136,12 @@ class Fabric {
   std::unordered_map<uint64_t, LinkState> degraded_;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_dropped_ = 0;
+
+  bool link_stats_enabled_ = false;
+  // unordered_map gives stable element addresses, so the delivery wrapper
+  // can capture a raw LinkStats* across rehashes.
+  std::unordered_map<uint64_t, LinkStats> link_stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace whale::net

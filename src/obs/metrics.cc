@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace whale::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  // Counters and queue depths are integral in practice; print them without
+  // a fractional part so the JSON round-trips exactly.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    out += std::to_string(static_cast<int64_t>(v));
+  } else {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    out += os.str();
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::find_or_create(
+    const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return entries_[it->second].get();
+  entries_.push_back(std::make_unique<Entry>());
+  Entry* e = entries_.back().get();
+  e->name = name;
+  index_.emplace(name, entries_.size() - 1);
+  return e;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  Entry* e = find_or_create(name);
+  if (!e->counter) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+void MetricsRegistry::gauge(const std::string& name,
+                            std::function<double()> probe) {
+  Entry* e = find_or_create(name);
+  e->probe = std::move(probe);
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  for (auto& h : hists_) {
+    if (h.name == name) return h.hist.get();
+  }
+  hists_.push_back(HistEntry{name, std::make_unique<LatencyHistogram>()});
+  return hists_.back().hist.get();
+}
+
+void MetricsRegistry::snapshot(Time now) {
+  times_.push_back(now);
+  for (auto& ep : entries_) {
+    Entry& e = *ep;
+    double v = 0.0;
+    if (e.probe) {
+      v = e.probe();
+    } else if (e.counter) {
+      v = static_cast<double>(e.counter->value());
+    }
+    e.samples.push_back(v);
+  }
+}
+
+const std::vector<double>* MetricsRegistry::series(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second]->samples;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second]->counter.get();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out += "{\n  \"snapshot_interval_ns\": ";
+  out += std::to_string(interval_);
+  out += ",\n  \"times_ns\": [";
+  for (size_t i = 0; i < times_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(times_[i]);
+  }
+  out += "],\n  \"series\": {";
+  bool first = true;
+  for (const auto& ep : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    append_json_string(out, ep->name);
+    out += ": [";
+    for (size_t i = 0; i < ep->samples.size(); ++i) {
+      if (i) out += ", ";
+      append_double(out, ep->samples[i]);
+    }
+    out += "]";
+  }
+  out += "\n  },\n  \"counters_final\": {";
+  first = true;
+  for (const auto& ep : entries_) {
+    if (!ep->counter) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    append_json_string(out, ep->name);
+    out += ": ";
+    out += std::to_string(ep->counter->value());
+  }
+  out += "\n  },\n  \"histograms\": [";
+  first = true;
+  for (const auto& h : hists_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": ";
+    append_json_string(out, h.name);
+    out += ", \"count\": " + std::to_string(h.hist->count());
+    out += ", \"mean_ns\": ";
+    append_double(out, h.hist->mean_ns());
+    out += ", \"p50_ns\": " + std::to_string(h.hist->p50());
+    out += ", \"p90_ns\": " + std::to_string(h.hist->quantile(0.90));
+    out += ", \"p99_ns\": " + std::to_string(h.hist->p99());
+    out += ", \"max_ns\": " + std::to_string(h.hist->max());
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace whale::obs

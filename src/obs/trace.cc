@@ -1,0 +1,65 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace whale::obs {
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i) out += ",";
+    out += "\n";
+    // Chrome expects ts/dur in microseconds; keep sub-us precision as the
+    // fractional part.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                  "\"ts\": %.3f, ",
+                  e.name, e.cat, e.ph, static_cast<double>(e.ts) / 1000.0);
+    out += buf;
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), "\"dur\": %.3f, ",
+                    static_cast<double>(e.dur) / 1000.0);
+      out += buf;
+    } else {
+      out += "\"s\": \"t\", ";
+    }
+    std::snprintf(buf, sizeof(buf), "\"pid\": %d, \"tid\": %d", e.pid, e.tid);
+    out += buf;
+    if (e.id != 0) {
+      std::snprintf(buf, sizeof(buf), ", \"id\": \"%llu\"",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+    }
+    out += ", \"args\": {";
+    bool first = true;
+    if (e.id != 0) {
+      std::snprintf(buf, sizeof(buf), "\"root\": %llu",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+      first = false;
+    }
+    if (e.arg_name) {
+      if (!first) out += ", ";
+      std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", e.arg_name,
+                    e.arg_value);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace whale::obs

@@ -1,0 +1,99 @@
+// Tuple-lifecycle tracer in Chrome trace_event form.
+//
+// Hook sites record complete spans ('X') and instants ('i') keyed by the
+// root-tuple id; `sampled(root)` decides — deterministically, from the id
+// and the configured stride — whether a given root's lifecycle is recorded.
+// Recovery episodes (tree repairs, fault events, worker switches) are
+// recorded whenever tracing is enabled, independent of the stride.
+//
+// The JSON output loads directly in chrome://tracing / Perfetto:
+//   pid  = worker/node id
+//   tid  = lane within the worker (kLane* below)
+//   ts   = simulated time in microseconds (internally nanoseconds)
+//   id   = root-tuple id (0 for control/fault events)
+//
+// Span and category names are passed as string literals; the tracer stores
+// the `const char*` verbatim and never copies or frees it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/obs.h"
+
+namespace whale::obs {
+
+// tid lane conventions (one logical track per worker in the trace viewer).
+inline constexpr int kLaneApp = 0;      // spout emit, bolt execute, sink
+inline constexpr int kLaneSend = 1;     // serialize, transmit queueing
+inline constexpr int kLaneRecv = 2;     // dispatch, relay fan-out
+inline constexpr int kLaneNet = 3;      // wire transfers (fabric/RDMA)
+inline constexpr int kLaneControl = 4;  // faults, repairs, switches
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  char ph;  // 'X' complete span, 'i' instant
+  Time ts;
+  Duration dur;  // 0 for instants
+  int pid;
+  int tid;
+  uint64_t id;
+  const char* arg_name;  // optional single argument; nullptr if absent
+  double arg_value;
+};
+
+class Tracer {
+ public:
+  void configure(bool enabled, uint64_t sample_stride, size_t max_events) {
+    enabled_ = enabled;
+    stride_ = sample_stride ? sample_stride : 1;
+    max_events_ = max_events;
+  }
+  bool enabled() const { return enabled_; }
+
+  // True iff this root's lifecycle should be recorded. root 0 is the "no
+  // root id" sentinel used by control traffic and is never sampled.
+  bool sampled(uint64_t root) const {
+    return enabled_ && root != 0 && root % stride_ == 0;
+  }
+
+  void complete(const char* name, const char* cat, int pid, int tid,
+                Time start, Duration dur, uint64_t id,
+                const char* arg_name = nullptr, double arg_value = 0.0) {
+    record(TraceEvent{name, cat, 'X', start, dur, pid, tid, id, arg_name,
+                      arg_value});
+  }
+
+  void instant(const char* name, const char* cat, int pid, int tid, Time ts,
+               uint64_t id = 0, const char* arg_name = nullptr,
+               double arg_value = 0.0) {
+    record(
+        TraceEvent{name, cat, 'i', ts, 0, pid, tid, id, arg_name, arg_value});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  void record(const TraceEvent& ev) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(ev);
+  }
+
+  bool enabled_ = false;
+  uint64_t stride_ = 1;
+  size_t max_events_ = size_t{1} << 20;
+  std::vector<TraceEvent> events_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace whale::obs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace whale::rdma {
 
 QueuePair::QueuePair(net::Fabric& fabric, const net::CostModel& cost,
@@ -44,7 +46,8 @@ bool QueuePair::transmit(Bundle& bundle, std::function<void()> on_posted) {
       [this, wr_id, bytes, bundle = std::move(owned),
        on_posted = std::move(on_posted)]() mutable {
         if (on_posted) on_posted();
-        fabric_.transmit(
+        const uint64_t n_pkts = bundle.size();
+        const bool sent = fabric_.transmit(
             net::Transport::kRdma, local_.node, remote_.node, bytes,
             [this, wr_id, bytes, bundle = std::move(bundle)]() mutable {
               send_cq_.push(Completion{config_.verb, wr_id,
@@ -60,6 +63,7 @@ bool QueuePair::transmit(Bundle& bundle, std::function<void()> on_posted) {
                   });
             },
             cost_.rnic_per_wr);
+        if (!sent) fabric_drops_ += n_pkts;
       });
   return true;
 }
@@ -96,7 +100,8 @@ void QueuePair::maybe_fetch() {
             pending_.pop_front();
           }
           const uint64_t wr_id = next_wr_id_++;
-          fabric_.transmit(
+          const uint64_t n_pkts = batch.size();
+          const bool sent = fabric_.transmit(
               net::Transport::kRdma, local_.node, remote_.node, batch_bytes,
               [this, epoch, wr_id, batch_bytes,
                batch = std::move(batch)]() mutable {
@@ -112,9 +117,19 @@ void QueuePair::maybe_fetch() {
                 maybe_fetch();
               },
               cost_.rnic_per_wr);
+          // Dropped READ data: the batch's packets were already moved out of
+          // the ring bookkeeping, so they are gone for good (and, like any
+          // fault mid-READ, the channel stays wedged until reset()).
+          if (!sent) fabric_drops_ += n_pkts;
         },
         cost_.rnic_per_wr);
   });
+}
+
+size_t QueuePair::packets_pending() const {
+  size_t n = 0;
+  for (const auto& b : pending_) n += b.size();
+  return n;
 }
 
 void QueuePair::reset() {
@@ -139,6 +154,19 @@ void QueuePair::release_space() {
 
 void QueuePair::deliver(Packet p) {
   ++packets_delivered_;
+  if (obs::kCompiled) {
+    // One span per delivered packet covering creation (serialization on the
+    // producer) through RNIC delivery — ring wait, READ batching and wire
+    // time included. The tracer lives on the engine; the fabric carries the
+    // pointer down here.
+    obs::Tracer* tr = fabric_.tracer();
+    if (tr && tr->sampled(p.id)) {
+      const Time now = fabric_.simulation().now();
+      tr->complete("rdma_transfer", "net", remote_.node, obs::kLaneNet,
+                   p.created, now - p.created, p.id, "bytes",
+                   static_cast<double>(p.size()));
+    }
+  }
   if (recv_handler_) recv_handler_(std::move(p));
 }
 

@@ -162,6 +162,14 @@ class QueuePair {
   uint64_t reads_issued() const { return reads_issued_; }
   uint64_t packets_lost() const { return packets_lost_; }
   uint64_t resets() const { return resets_; }
+  // Data packets handed to the fabric but dropped at its entry (dead
+  // endpoint / partitioned link) — they left this QP's books without being
+  // delivered or counted in packets_lost.
+  uint64_t fabric_drops() const { return fabric_drops_; }
+  // Packets buffered on the producer side awaiting a READ fetch. Includes
+  // packets wedged behind a READ request descriptor the fabric dropped
+  // (the channel stays blocked until reset() re-arms it).
+  size_t packets_pending() const;
 
  private:
   void deliver(Packet p);
@@ -195,6 +203,7 @@ class QueuePair {
   uint64_t reads_issued_ = 0;
   uint64_t packets_lost_ = 0;
   uint64_t resets_ = 0;
+  uint64_t fabric_drops_ = 0;
   uint64_t next_wr_id_ = 1;
 };
 

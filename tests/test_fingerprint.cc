@@ -1,0 +1,82 @@
+// Fingerprint-parity gate (promoted to ctest from the manual CI diff).
+//
+// results/fingerprints_baseline.txt pins the behavioural fingerprint of
+// eight deterministic workloads. Two properties are enforced here:
+//
+//  1. A build with the obs layer compiled in but *disabled* (the default
+//     EngineConfig) is bit-identical to the recorded baseline — the
+//     observability layer is a passive witness with zero overhead when off.
+//  2. Enabling *tracing* (metrics stay off) still matches the baseline:
+//     the tracer only records from callbacks that already exist, so it
+//     schedules zero extra simulation events and perturbs nothing.
+//
+// Metrics snapshots DO schedule events (the periodic snapshot loop), so
+// metrics-on parity is intentionally not asserted.
+#include <fstream>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/fingerprint_suite.h"
+#include "obs/obs.h"
+
+namespace {
+
+using whale::apps::FingerprintLine;
+using whale::apps::fingerprint_probe_labels;
+using whale::apps::run_fingerprint_probe;
+
+std::map<std::string, std::string> load_baseline() {
+  const std::string path =
+      std::string(WHALE_SOURCE_DIR) + "/results/fingerprints_baseline.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing baseline file: " << path;
+  std::map<std::string, std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    out[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  return out;
+}
+
+TEST(FingerprintParity, BaselineCoversEveryProbe) {
+  const auto baseline = load_baseline();
+  for (const auto& label : fingerprint_probe_labels()) {
+    EXPECT_TRUE(baseline.count(label)) << "baseline missing probe " << label;
+  }
+}
+
+// Property 1: obs compiled in but disabled == recorded baseline, for every
+// probe in the suite.
+TEST(FingerprintParity, DisabledObsMatchesBaseline) {
+  const auto baseline = load_baseline();
+  for (const auto& label : fingerprint_probe_labels()) {
+    const FingerprintLine got = run_fingerprint_probe(label);
+    auto it = baseline.find(got.label);
+    ASSERT_NE(it, baseline.end()) << got.label;
+    EXPECT_EQ(got.fingerprint, it->second) << got.label;
+  }
+}
+
+// Property 2: tracing-on (metrics off) == baseline for the heaviest Whale
+// probe and the fault/recovery probe. The tracer must never schedule an
+// event, so `events=` in the fingerprint cannot move.
+TEST(FingerprintParity, TracingOnMatchesBaseline) {
+  if (!whale::obs::kCompiled) GTEST_SKIP() << "built with WHALE_NO_OBS";
+  const auto baseline = load_baseline();
+  for (const std::string label : {"fig13/whale", "faults/whale-seeded"}) {
+    const FingerprintLine got =
+        run_fingerprint_probe(label, [](whale::core::EngineConfig& cfg) {
+          cfg.obs.tracing_enabled = true;
+          cfg.obs.trace_sample_stride = 1;
+        });
+    auto it = baseline.find(got.label);
+    ASSERT_NE(it, baseline.end()) << got.label;
+    EXPECT_EQ(got.fingerprint, it->second) << got.label;
+  }
+}
+
+}  // namespace

@@ -5,82 +5,16 @@
 //
 // Two builds of the simulator are behaviourally equivalent iff this
 // program's output is bit-identical between them. Used as the acceptance
-// gate for hot-path optimisations (run before and after, diff).
+// gate for hot-path optimisations (run before and after, diff) and — via
+// tests/test_fingerprint.cc, which shares apps/fingerprint_suite — as a
+// ctest gate against results/fingerprints_baseline.txt.
 #include <cstdio>
 
-#include "apps/ride_hailing_app.h"
-#include "apps/stock_app.h"
-#include "core/engine.h"
-#include "faults/plan.h"
-
-using namespace whale;
-
-namespace {
-
-core::EngineConfig base_config(core::SystemVariant v) {
-  core::EngineConfig cfg;
-  cfg.cluster.num_nodes = 8;
-  cfg.cluster.cores_per_node = 16;
-  cfg.variant = v;
-  cfg.seed = 42;
-  return cfg;
-}
-
-void probe_ride(const char* label, core::SystemVariant v,
-                core::EngineConfig* custom = nullptr) {
-  core::EngineConfig cfg = custom ? *custom : base_config(v);
-  cfg.variant = v;
-  apps::RideHailingAppParams p;
-  p.matching_parallelism = 32;
-  p.aggregation_parallelism = 4;
-  p.driver_spout_parallelism = 2;
-  p.request_rate = dsps::RateProfile::constant(3000);
-  p.driver_rate = dsps::RateProfile::constant(2000);
-  core::Engine e(cfg, apps::build_ride_hailing(p).topology);
-  const auto& r = e.run(ms(100), ms(300));
-  std::printf("fig13/%s\t%s\n", label, r.fingerprint().c_str());
-}
-
-void probe_stock(const char* label, core::SystemVariant v) {
-  core::EngineConfig cfg = base_config(v);
-  apps::StockAppParams p;
-  p.matching_parallelism = 32;
-  p.aggregation_parallelism = 4;
-  p.order_rate = dsps::RateProfile::constant(3000);
-  core::Engine e(cfg, apps::build_stock_exchange(p).topology);
-  const auto& r = e.run(ms(100), ms(300));
-  std::printf("fig15/%s\t%s\n", label, r.fingerprint().c_str());
-}
-
-void probe_faults() {
-  core::EngineConfig cfg = base_config(core::SystemVariant::Whale());
-  cfg.enable_acking = true;
-  cfg.replay_on_failure = true;
-  cfg.ack_timeout = ms(120);
-  cfg.faults = faults::FaultPlan::random(/*seed=*/7, cfg.cluster.num_nodes,
-                                         /*horizon=*/ms(400),
-                                         /*num_faults=*/6);
-  apps::RideHailingAppParams p;
-  p.matching_parallelism = 32;
-  p.aggregation_parallelism = 4;
-  p.driver_spout_parallelism = 2;
-  p.request_rate = dsps::RateProfile::constant(3000);
-  p.driver_rate = dsps::RateProfile::constant(2000);
-  core::Engine e(cfg, apps::build_ride_hailing(p).topology);
-  const auto& r = e.run(ms(100), ms(300));
-  std::printf("faults/whale-seeded\t%s\n", r.fingerprint().c_str());
-}
-
-}  // namespace
+#include "apps/fingerprint_suite.h"
 
 int main() {
-  probe_ride("storm", core::SystemVariant::Storm());
-  probe_ride("rdma-storm", core::SystemVariant::RdmaStorm());
-  probe_ride("whale-woc", core::SystemVariant::WhaleWoc());
-  probe_ride("whale", core::SystemVariant::Whale());
-  probe_stock("storm", core::SystemVariant::Storm());
-  probe_stock("rdmc", core::SystemVariant::Rdmc());
-  probe_stock("whale", core::SystemVariant::Whale());
-  probe_faults();
+  for (const auto& line : whale::apps::run_fingerprint_suite()) {
+    std::printf("%s\t%s\n", line.label.c_str(), line.fingerprint.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifacts written by tools/obs_probe.
+
+Checks (stdlib only, exit non-zero on the first failure):
+  trace.json    parses as Chrome trace_event JSON; the tuple lifecycle is
+                present (spout.emit, serialize, rdma_transfer, relay.forward,
+                dispatch, sink spans); at least one fault/repair episode
+                (fault.crash instant + mcast.repair complete span) is
+                recorded; complete events carry numeric ts/dur >= 0.
+  metrics.json  parses against the schema in DESIGN.md §9; snapshot times
+                are strictly increasing and spaced by snapshot_interval_ns;
+                the controller input series (src.transfer_queue,
+                src.in_queue) exist; every series has one value per
+                snapshot; final counters include the conservation ledger.
+
+Usage: tools/validate_obs.py [obs_dir]   (default: results/obs)
+"""
+import json
+import pathlib
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def validate_trace(path: pathlib.Path) -> None:
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    if not events:
+        fail("trace has no events")
+    by_name = {}
+    for ev in events:
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                fail(f"trace event missing '{key}': {ev}")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"unexpected phase {ev['ph']!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                fail(f"complete event missing dur: {ev}")
+            if not (ev["ts"] >= 0 and ev["dur"] >= 0):
+                fail(f"negative ts/dur: {ev}")
+        by_name.setdefault(ev["name"], []).append(ev)
+    lifecycle = ("spout.emit", "serialize", "rdma_transfer", "relay.forward",
+                 "dispatch")
+    for name in lifecycle:
+        if name not in by_name:
+            fail(f"trace missing lifecycle span '{name}'")
+    if "sink" not in by_name and "bolt.execute" not in by_name:
+        fail("trace missing sink/bolt execution spans")
+    # At least one recovery episode: the crash instant plus the named
+    # repair span that re-parents the orphaned subtree.
+    for name in ("fault.crash", "mcast.repair"):
+        if name not in by_name:
+            fail(f"trace missing recovery span '{name}'")
+    # A leaf crash repairs in zero time (nothing to re-parent); at least one
+    # episode must show the connection re-establishment cost.
+    if not any(ev["ph"] == "X" and ev["dur"] > 0
+               for ev in by_name["mcast.repair"]):
+        fail("no repair span records a positive re-parenting duration")
+    print(f"  trace.json    ok: {len(events)} events, "
+          f"{len(by_name)} span names, "
+          f"{len(by_name['mcast.repair'])} repair episode(s)")
+
+
+def validate_metrics(path: pathlib.Path) -> None:
+    doc = json.loads(path.read_text())
+    for key in ("snapshot_interval_ns", "times_ns", "series",
+                "counters_final", "histograms"):
+        if key not in doc:
+            fail(f"metrics missing top-level '{key}'")
+    times = doc["times_ns"]
+    if len(times) < 2:
+        fail("need at least two snapshots")
+    interval = doc["snapshot_interval_ns"]
+    for a, b in zip(times, times[1:]):
+        if b - a != interval:
+            fail(f"snapshot spacing {b - a} != interval {interval}")
+    for name in ("src.transfer_queue", "src.in_queue", "acker.pending"):
+        if name not in doc["series"]:
+            fail(f"metrics missing series '{name}'")
+    for name, values in doc["series"].items():
+        if len(values) != len(times):
+            fail(f"series '{name}' has {len(values)} values, "
+                 f"expected {len(times)}")
+    ledger = ("obs.roots_emitted", "obs.sink_completions", "obs.input_drops",
+              "obs.queue_rejects", "obs.tuples_lost_engine",
+              "obs.tuples_lost_qp", "obs.qp_fabric_drops", "obs.inflight_end")
+    for name in ledger:
+        if name not in doc["counters_final"]:
+            fail(f"metrics missing final counter '{name}'")
+    if doc["counters_final"]["obs.roots_emitted"] <= 0:
+        fail("roots_emitted should be positive")
+    print(f"  metrics.json  ok: {len(times)} snapshots, "
+          f"{len(doc['series'])} series, "
+          f"{len(doc['counters_final'])} counters")
+
+
+def main() -> int:
+    obs_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results/obs")
+    trace = obs_dir / "trace.json"
+    metrics = obs_dir / "metrics.json"
+    for p in (trace, metrics):
+        if not p.exists():
+            fail(f"missing {p} (run build/tools/obs_probe first)")
+    validate_trace(trace)
+    validate_metrics(metrics)
+    print("obs artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
