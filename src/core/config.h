@@ -10,6 +10,7 @@
 #include "net/cost_model.h"
 #include "obs/obs.h"
 #include "rdma/verbs.h"
+#include "state/state.h"
 #include "core/variant.h"
 
 namespace whale::core {
@@ -87,6 +88,11 @@ struct EngineConfig {
   // Default-off; when off the engine schedules no extra events and the
   // workload fingerprints are bit-identical to an uninstrumented build.
   obs::ObsConfig obs;
+
+  // Checkpointing/state layer (src/state): aligned epoch barriers,
+  // asynchronous snapshots, exactly-once recovery. Same zero-overhead
+  // contract as obs: default-off, fingerprints identical when off.
+  state::StateConfig state;
 };
 
 }  // namespace whale::core

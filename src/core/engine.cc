@@ -105,6 +105,21 @@ void Engine::obs_setup() {
   c_qp_fabric_drops_ = metrics_.counter("obs.qp_fabric_drops");
   c_inflight_ = metrics_.counter("obs.inflight_end");
   h_sink_latency_ = metrics_.histogram("obs.sink_latency");
+  if (state_on()) {
+    c_epochs_ = metrics_.counter("state.epochs_completed");
+    c_epoch_aborts_ = metrics_.counter("state.epochs_aborted");
+    c_barriers_ = metrics_.counter("state.barriers_injected");
+    c_snapshot_bytes_ = metrics_.counter("state.snapshot_bytes");
+    c_committed_ = metrics_.counter("state.committed_completions");
+    c_dup_filtered_ = metrics_.counter("state.duplicates_filtered");
+    c_ckpt_replays_ = metrics_.counter("state.replayed_tuples");
+    metrics_.gauge("state.last_committed_epoch", [this] {
+      return static_cast<double>(checkpoints_.last_committed());
+    });
+    metrics_.gauge("state.align_stall_ns", [this] {
+      return static_cast<double>(checkpoints_.stats().align_stall_total);
+    });
+  }
 
   for (auto& wp : workers_) {
     WorkerRt* w = wp.get();
@@ -179,6 +194,7 @@ void Engine::obs_finalize() {
   }
   for (const auto& tp : tasks_) {
     inflight += tp->in_queue->size();
+    inflight += tp->align_buf.size();  // stashed behind an epoch barrier
     // A task stuck mid-processing (its emission blocked on a queue that
     // will never drain) holds exactly one tuple instance in limbo.
     if (tp->processing) ++inflight;
@@ -264,9 +280,20 @@ void Engine::build_runtime() {
       if (spec.is_spout) {
         t->spout = spec.spout_factory();
         t->spout->prepare(ctx);
+        if (state::kCompiled) t->spout->register_state(t->store);
       } else {
         t->bolt = spec.bolt_factory();
         t->bolt->prepare(ctx);
+        if (state::kCompiled) t->bolt->register_state(t->store);
+      }
+      // Alignment channel count: one per (in-stream, upstream task) pair.
+      // Spouts align trivially (the injected barrier is their only input).
+      t->expected_barriers = spec.is_spout ? 1 : 0;
+      for (int sid : spec.in_streams) {
+        t->expected_barriers +=
+            topo_.ops[static_cast<size_t>(
+                          topo_.streams[static_cast<size_t>(sid)].from_op)]
+                .parallelism;
       }
       TaskRt* raw = t.get();
       t->in_queue->set_on_item([this, raw] { pump_task(*raw); });
@@ -500,6 +527,19 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
     });
   }
 
+  // Checkpoint epoch ticks (src/state). Same zero-overhead contract as the
+  // metrics loop above: disabled checkpointing schedules ZERO events.
+  if (state_on()) {
+    checkpoints_.reset(static_cast<int>(tasks_.size()));
+    for (auto& tp : tasks_) tp->epoch0_image = tp->store.snapshot();
+    loop_async([this](auto next) {
+      sim_.schedule_after(cfg_.state.checkpoint_interval, [this, next] {
+        checkpoint_tick();
+        if (sim_.now() < window_end_) next();
+      });
+    });
+  }
+
   sim_.run_until(window_end_);
   finalize_report(measure);
   obs_finalize();
@@ -627,6 +667,24 @@ void Engine::finalize_report(Duration measure) {
     }
   }
 
+  if (state_on()) {
+    const auto& st = checkpoints_.stats();
+    report_.epochs_completed = st.epochs_completed;
+    report_.epochs_aborted = st.epochs_aborted;
+    report_.barriers_injected = st.barriers_injected;
+    report_.checkpoint_bytes = st.snapshot_bytes_total;
+    report_.committed_completions = st.committed_completions;
+    report_.duplicates_filtered = st.duplicates_filtered;
+    report_.checkpoint_recoveries = st.recoveries;
+    report_.checkpoint_replays = st.replayed_tuples;
+    report_.align_stall_total = st.align_stall_total;
+    report_.epoch_duration_avg =
+        st.epochs_completed
+            ? st.epoch_duration_total /
+                  static_cast<Duration>(st.epochs_completed)
+            : 0;
+  }
+
   report_.fabric_messages_dropped = fabric_->messages_dropped();
   report_.fabric_bytes_dropped = fabric_->bytes_dropped();
   report_.tuples_lost = tuples_lost_;
@@ -679,11 +737,17 @@ void Engine::schedule_arrival(int task) {
     }
     if (cfg_.enable_acking) {
       acker_.root_emitted(mut->root_id, sim_.now());
-      if (cfg_.replay_on_failure && replays_.size() < kMaxTrackedTuples) {
+      // Checkpoint recovery replaces the acker's timeout replay for this
+      // run: rewind comes from the epoch log, not the replay buffer.
+      const bool ckpt_replay = state_on() && cfg_.state.recover_from_checkpoint;
+      if (cfg_.replay_on_failure && !ckpt_replay &&
+          replays_.size() < kMaxTrackedTuples) {
         replays_.emplace(mut->root_id, ReplayState{*tuple, task, 0});
       }
     }
-    if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
+    Delivery arrival{tuple, 0};
+    arrival.gen = recovery_gen_;
+    if (!tk.in_queue->try_push(std::move(arrival))) {
       if (in_window()) ++report_.input_drops;
       if (c_input_drops_) c_input_drops_->inc();
       if (cfg_.enable_acking) acker_.fail(tuple->root_id);
@@ -701,6 +765,15 @@ void Engine::schedule_arrival(int task) {
 void Engine::pump_task(TaskRt& t) {
   if (t.processing) return;
   if (workers_[static_cast<size_t>(t.worker)]->down) return;
+  // Deliveries stashed behind a completed/aborted barrier go first: they
+  // arrived before anything still waiting in the in-queue.
+  if (state_on() && !t.aligning && !t.align_buf.empty()) {
+    Delivery d = std::move(t.align_buf.front());
+    t.align_buf.pop_front();
+    t.processing = true;
+    process_tuple(t, std::move(d));
+    return;
+  }
   auto item = t.in_queue->try_pop();
   if (!item) return;
   t.processing = true;
@@ -708,9 +781,55 @@ void Engine::pump_task(TaskRt& t) {
 }
 
 void Engine::process_tuple(TaskRt& t, Delivery d) {
+  if (state_on()) {
+    // Stale-incarnation fence: a copy sent before a recovery (still on the
+    // wire or in a queue when the rollback ran) must not be applied to the
+    // restored state — its root is re-delivered by the epoch-log replay.
+    // A restarted real system severs its old connections; here the old
+    // bytes still arrive, so they are dropped at the door. Stale barriers
+    // vanish silently (their epoch died with the old incarnation and the
+    // fence counters were already zeroed by the rollback).
+    if (d.gen != recovery_gen_) {
+      if (!state::is_barrier(*d.tuple)) {
+        ++tuples_lost_;
+        if (c_lost_) c_lost_->inc();
+      }
+      t.processing = false;
+      pump_task(t);
+      return;
+    }
+    // Epoch barriers never reach user logic and never touch the data
+    // counters below; they drive alignment/snapshotting instead.
+    if (state::is_barrier(*d.tuple)) {
+      handle_barrier(t, std::move(d));
+      return;
+    }
+    // Aligning and this input channel already delivered its barrier:
+    // stash the tuple (it belongs to the NEXT epoch) until alignment
+    // completes or the epoch aborts. No CPU is charged for the stash.
+    if (t.aligning &&
+        t.barriers_from.count(chan_key(d.tuple->stream, d.src_task)) != 0) {
+      t.align_buf.push_back(std::move(d));
+      t.processing = false;
+      pump_task(t);
+      return;
+    }
+  }
   std::shared_ptr<const dsps::Tuple> tuple = std::move(d.tuple);
   const uint64_t ack_edge = d.ack_edge;
+  const bool replayed = d.replayed;
   const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  // Sink-side exactly-once filter: a root whose effects are already inside
+  // the committed snapshot (delivered again by a checkpoint replay or a
+  // stale wire copy) is dropped before user logic runs.
+  if (state_on() && !t.spout && op.out_streams.empty() &&
+      checkpoints_.root_committed(tuple->root_id)) {
+    ++checkpoints_.stats().duplicates_filtered;
+    if (cfg_.enable_acking && ack_edge != 0) acker_.acked(tuple->root_id, ack_edge);
+    t.processing = false;
+    pump_task(t);
+    return;
+  }
   // A processed all-grouped tuple advances the throughput counters:
   // system throughput = processed broadcast tuples per destination
   // instance per second (robust under overload, where different
@@ -729,6 +848,12 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
   if (t.spout) {
     cost = t.spout->emit_cost();
     emissions.emplace_back(0, *tuple);
+    // Epoch log (source offsets): this root belongs to the epoch the NEXT
+    // barrier will open (tags > last_committed form the rewind set).
+    // Replayed deliveries keep their original log entry.
+    if (state_on() && !replayed) {
+      checkpoints_.log_emission(t.id, t.epoch + 1, *tuple);
+    }
   } else {
     dsps::Emitter em;
     cost = t.bolt->execute(*tuple, em);
@@ -751,6 +876,9 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
       if (h_sink_latency_) {
         h_sink_latency_->add(sim_.now() - tuple->root_emit_time);
       }
+      // Exactly-once bookkeeping: pending until this sink's next barrier
+      // seals the epoch; committed with the epoch's snapshot.
+      if (state_on()) checkpoints_.sink_pending(t.id, tuple->root_id);
     }
   }
   // The M/D/1 model's per-tuple fixed term includes the source's own
@@ -835,7 +963,7 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
     }
     // Instance-oriented sequential all-grouping (Storm / RDMA-Storm).
     const auto& dsts = op_tasks_[static_cast<size_t>(s.to_op)];
-    if ((tup->root_id % cfg_.tuple_sample_stride) == 0) {
+    if (tup->root_id != 0 && (tup->root_id % cfg_.tuple_sample_stride) == 0) {
       mcast_track_start(tup->root_id, tup->root_emit_time,
                         static_cast<uint32_t>(dsts.size()));
     }
@@ -869,8 +997,16 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
 }
 
 void Engine::deliver_local(TaskRt& dst,
-                           std::shared_ptr<const dsps::Tuple> tup) {
+                           std::shared_ptr<const dsps::Tuple> tup,
+                           int src_task, uint64_t gen) {
+  const bool bar = state_on() && state::is_barrier(*tup);
   if (workers_[static_cast<size_t>(dst.worker)]->down) {
+    if (bar) {
+      // A barrier swallowed by a dead worker can never align: the epoch
+      // is doomed, abort it promptly instead of stalling until the tick.
+      schedule_epoch_abort(state::barrier_epoch(*tup));
+      return;
+    }
     // No NACK from a dead worker: the loss surfaces as an ack timeout.
     ++tuples_lost_;
     if (c_lost_) c_lost_->inc();
@@ -882,10 +1018,17 @@ void Engine::deliver_local(TaskRt& dst,
     mcast_track_received(tup->root_id);
   }
   Delivery d{tup, 0};
+  d.src_task = src_task;
+  d.gen = gen;
   if (cfg_.enable_acking) {
     d.ack_edge = take_edge(tup->root_id, dst.id);
   }
   if (!dst.in_queue->try_push(d)) {
+    if (bar) {
+      // Barrier shed by a full executor queue: the epoch cannot complete.
+      schedule_epoch_abort(state::barrier_epoch(*tup));
+      return;
+    }
     if (in_window()) ++report_.queue_rejects;
     if (c_queue_rejects_) c_queue_rejects_->inc();
     // A dropped tuple instance can never be acked: fail the whole root
@@ -921,8 +1064,10 @@ void Engine::send_point_to_point(TaskRt& t,
                                  std::vector<int> dsts,
                                  std::function<void()> done) {
   auto& w = *workers_[static_cast<size_t>(t.worker)];
+  const bool bar = state_on() && state::is_barrier(*tup);
   if (cfg_.enable_acking) {
     // Anchor every destination edge at emission time (Storm semantics).
+    // Barriers carry root 0, which the acker never tracks.
     for (int d : dsts) anchor_edge(tup->root_id, d);
   }
 
@@ -938,18 +1083,18 @@ void Engine::send_point_to_point(TaskRt& t,
     }
   }
   TaskRt* traw = &t;
-  auto after_local = [this, traw, tup, remote = std::move(remote),
+  auto after_local = [this, traw, tup, bar, remote = std::move(remote),
                       done = std::move(done), &w]() mutable {
     if (remote.empty()) {
       done();
       return;
     }
     // Per-tuple communication tracking (Figs. 25/26) for the all-grouped
-    // stream's source instance.
+    // stream's source instance. Barriers (root 0) are never sampled.
     const auto& sspec = topo_.streams[tup->stream];
     const bool tracked =
         sspec.grouping == dsps::Grouping::kAll &&
-        traw->id == primary_src_task_ &&
+        traw->id == primary_src_task_ && tup->root_id != 0 &&
         (tup->root_id % cfg_.tuple_sample_stride) == 0 && in_window() &&
         comm_tracks_.size() < kMaxTrackedTuples;
     if (tracked) {
@@ -966,7 +1111,7 @@ void Engine::send_point_to_point(TaskRt& t,
       // charged to the upstream instance, matching Fig. 2d's breakdown.
       auto idx = std::make_shared<size_t>(0);
       auto rem = std::make_shared<std::vector<int>>(std::move(remote));
-      loop_async([this, traw, tup, idx, rem, track_root,
+      loop_async([this, traw, tup, idx, rem, track_root, bar,
                   done = std::move(done), &w](auto next) {
         if (*idx >= rem->size()) {
           done();
@@ -989,7 +1134,7 @@ void Engine::send_point_to_point(TaskRt& t,
         traw->cpu->execute(
             ser, sim::CpuCategory::kSerialization,
             [this, traw, bytes = std::move(bytes), d, next, track_root, ser,
-             root = tup->root_id, &w] {
+             bar, root = tup->root_id, &w] {
               if (trace_on() && tracer_.sampled(root)) {
                 tracer_.complete("serialize", "app", traw->worker,
                                  obs::kLaneApp, sim_.now() - ser, ser, root);
@@ -998,12 +1143,16 @@ void Engine::send_point_to_point(TaskRt& t,
                   bytes->size());
               traw->cpu->execute(
                   send_cost, send_cat,
-                  [this, bytes = std::move(bytes), d, next, track_root, &w] {
+                  [this, traw, bytes = std::move(bytes), d, next, track_root,
+                   bar, &w] {
                     OutMsg m;
                     m.bytes = std::move(bytes);
                     m.dst_worker = tasks_[static_cast<size_t>(d)]->worker;
                     m.enqueued = sim_.now();
                     m.root_id = track_root;
+                    m.src_task = traw->id;
+                    m.barrier = bar;
+                    m.gen = recovery_gen_;
                     push_out(w, std::move(m), [next] { next(); });
                   });
             });
@@ -1041,7 +1190,7 @@ void Engine::send_point_to_point(TaskRt& t,
       }
     }
     auto idx = std::make_shared<size_t>(0);
-    loop_async([this, traw, targets, idx, first_ser, track_root,
+    loop_async([this, traw, targets, idx, first_ser, track_root, bar,
                 root = tup->root_id, done = std::move(done), &w](auto next) {
       if (*idx >= targets->size()) {
         done();
@@ -1053,7 +1202,7 @@ void Engine::send_point_to_point(TaskRt& t,
       const Duration d = (*idx == 1) ? first_ser : cfg_.woc_header_cost;
       traw->cpu->execute(
           d, sim::CpuCategory::kSerialization,
-          [this, traw, &tgt, next, track_root, d, root, &w] {
+          [this, traw, &tgt, next, track_root, bar, d, root, &w] {
             if (trace_on() && tracer_.sampled(root)) {
               tracer_.complete("serialize", "app", traw->worker,
                                obs::kLaneApp, sim_.now() - d, d, root);
@@ -1061,12 +1210,15 @@ void Engine::send_point_to_point(TaskRt& t,
             const auto [send_cost, send_cat] =
                 source_send_cost(tgt.bytes->size());
             traw->cpu->execute(send_cost, send_cat,
-                               [this, &tgt, next, track_root, &w] {
+                               [this, traw, &tgt, next, track_root, bar, &w] {
                                  OutMsg m;
                                  m.bytes = tgt.bytes;
                                  m.dst_worker = tgt.worker;
                                  m.enqueued = sim_.now();
                                  m.root_id = track_root;
+                                 m.src_task = traw->id;
+                                 m.barrier = bar;
+                                 m.gen = recovery_gen_;
                                  push_out(w, std::move(m),
                                           [next] { next(); });
                                });
@@ -1084,10 +1236,11 @@ void Engine::send_point_to_point(TaskRt& t,
       }
     }
     t.cpu->execute(d, sim::CpuCategory::kDispatch,
-                   [this, tup, locals = std::move(locals),
+                   [this, tup, src = t.id, locals = std::move(locals),
                     after_local = std::move(after_local)]() mutable {
                      for (int dd : locals) {
-                       deliver_local(*tasks_[static_cast<size_t>(dd)], tup);
+                       deliver_local(*tasks_[static_cast<size_t>(dd)], tup,
+                                     src, recovery_gen_);
                      }
                      after_local();
                    });
@@ -1101,7 +1254,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
                         std::function<void()> done) {
   auto& w = *workers_[static_cast<size_t>(t.worker)];
   const uint64_t root = tup->root_id;
-  const bool tracked = (root % cfg_.tuple_sample_stride) == 0;
+  const bool bar = state_on() && state::is_barrier(*tup);
+  const bool tracked = root != 0 && (root % cfg_.tuple_sample_stride) == 0;
   if (cfg_.enable_acking) {
     for (int d : op_tasks_[static_cast<size_t>(g.dst_op)]) {
       anchor_edge(root, d);
@@ -1148,7 +1302,7 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
   McastGroup* graw = &g;
   t.cpu->execute(ser, sim::CpuCategory::kSerialization, [this, traw, graw,
                                                          tup, root, tracked,
-                                                         framed, body,
+                                                         bar, framed, body,
                                                          body_len, ser,
                                                          done = std::move(
                                                              done),
@@ -1161,7 +1315,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
     const auto& locals =
         w.op_local_tasks[static_cast<size_t>(graw->dst_op)];
     for (int d : locals) {
-      deliver_local(*tasks_[static_cast<size_t>(d)], tup);
+      deliver_local(*tasks_[static_cast<size_t>(d)], tup, traw->id,
+                    recovery_gen_);
     }
 
     // Relay to the source's direct cascading endpoints, one scheduling
@@ -1176,8 +1331,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
         ct->second.outstanding = static_cast<uint32_t>(children.size());
       }
     }
-    loop_async([this, traw, graw, root, tracked, framed, body, body_len, idx,
-                children, done = std::move(done), &w](auto next) {
+    loop_async([this, traw, graw, root, tracked, bar, framed, body, body_len,
+                idx, children, done = std::move(done), &w](auto next) {
       if (*idx >= children.size()) {
         done();
         return;
@@ -1188,7 +1343,8 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
       // that makes large out-degrees choke the source (Eq. 1).
       const auto [send_cost, send_cat] = source_send_cost(body_len);
       traw->cpu->execute(cfg_.mcast_schedule_per_child + send_cost, send_cat,
-          [this, graw, root, tracked, framed, body, child_ep, next, &w] {
+          [this, traw, graw, root, tracked, bar, framed, body, child_ep, next,
+           &w] {
             OutMsg m;
             m.bytes = graw->worker_level
                           ? framed  // shared buffer, refcount bump only
@@ -1201,6 +1357,9 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
                                : tasks_[static_cast<size_t>(ep)]->worker;
             m.enqueued = sim_.now();
             m.root_id = tracked ? root : 0;
+            m.src_task = traw->id;
+            m.barrier = bar;
+            m.gen = recovery_gen_;
             push_out(w, std::move(m), [next] { next(); });
           });
     });
@@ -1214,8 +1373,11 @@ void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
     if (wr->down) {
       // The producing worker died (possibly while blocked on a full
       // queue): the message is lost but the executor chain must unwind.
-      ++tuples_lost_;
-      if (c_lost_ && !m->control) c_lost_->inc();
+      // Lost barriers are not data losses; the epoch aborts instead.
+      if (!m->barrier) {
+        ++tuples_lost_;
+        if (c_lost_ && !m->control) c_lost_->inc();
+      }
       done();
       return;
     }
@@ -1276,13 +1438,19 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
   if (workers_[static_cast<size_t>(msg.dst_worker)]->down) {
     // The connection to a crashed peer is in error state: the send fails
     // and the message is dropped (the ack timeout recovers the root).
-    ++tuples_lost_;
-    if (c_lost_ && !msg.control) c_lost_->inc();
+    // A dropped barrier is not a data loss — its epoch aborts instead.
+    if (!msg.barrier) {
+      ++tuples_lost_;
+      if (c_lost_ && !msg.control) c_lost_->inc();
+    }
     resume();
     return;
   }
   const uint64_t sz = msg.bytes->size();
   rdma::Packet pkt{msg.bytes, msg.enqueued, msg.root_id};
+  pkt.src_task = msg.src_task;
+  pkt.barrier = msg.barrier;
+  pkt.gen = msg.gen;
   const int dst_worker = msg.dst_worker;
 
   switch (cfg_.variant.transport) {
@@ -1292,7 +1460,7 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
       // to the kernel/NIC. Receive-side protocol runs on the recv thread.
       w.send_cpu->execute(
           cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
-          [this, wr, dst_worker, sz, ctrl = msg.control,
+          [this, wr, dst_worker, sz, ctrl = msg.control, bar = msg.barrier,
            pkt = std::move(pkt), resume]() mutable {
             auto& dw = *workers_[static_cast<size_t>(dst_worker)];
             WorkerRt* draw = &dw;
@@ -1310,7 +1478,7 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
             // vanished without a delivery callback. tuples_lost_ is NOT
             // bumped here to keep legacy reports unchanged; the obs layer
             // accounts for it so conservation still balances.
-            if (!sent && c_lost_ && !ctrl) c_lost_->inc();
+            if (!sent && c_lost_ && !ctrl && !bar) c_lost_->inc();
             resume();
           });
       break;
@@ -1363,7 +1531,8 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
 void Engine::handle_bytes(WorkerRt& w, rdma::Packet pkt, int src_worker) {
   if (w.down) {
     // In-flight delivery racing a crash: the process it was addressed to
-    // no longer exists.
+    // no longer exists. Barriers vanish uncounted (their epoch aborts).
+    if (pkt.barrier) return;
     ++tuples_lost_;
     if (c_lost_) {
       const MsgKind k = peek(*pkt.bytes).kind;
@@ -1422,7 +1591,7 @@ void Engine::dispatch_instance(WorkerRt& w, rdma::Packet pkt) {
                            sim_.now() - cost, cost, tup->root_id);
         }
         deliver_local(*tasks_[static_cast<size_t>(m.dst_task)],
-                      std::move(tup));
+                      std::move(tup), pkt.src_task, pkt.gen);
       });
 }
 
@@ -1438,7 +1607,8 @@ void Engine::dispatch_batch(WorkerRt& w, rdma::Packet pkt) {
       cfg_.cost.dispatch_per_tuple * static_cast<Duration>(m.dst_tasks.size());
   WorkerRt* wr = &w;
   w.recv_cpu->execute(cost, sim::CpuCategory::kSerialization,
-                      [this, wr, cost, m = std::move(m)] {
+                      [this, wr, cost, src = pkt.src_task, gen = pkt.gen,
+                       m = std::move(m)] {
                         auto tup = std::make_shared<const dsps::Tuple>(
                             std::move(m.tuple));
                         if (trace_on() && tracer_.sampled(tup->root_id)) {
@@ -1447,7 +1617,8 @@ void Engine::dispatch_batch(WorkerRt& w, rdma::Packet pkt) {
                                            cost, tup->root_id);
                         }
                         for (int32_t d : m.dst_tasks) {
-                          deliver_local(*tasks_[static_cast<size_t>(d)], tup);
+                          deliver_local(*tasks_[static_cast<size_t>(d)], tup,
+                                        src, gen);
                         }
                       });
 }
@@ -1487,11 +1658,13 @@ void Engine::dispatch_mcast(WorkerRt& w, rdma::Packet pkt,
                              static_cast<Duration>(locals.size());
           wr->recv_cpu->execute(d, sim::CpuCategory::kDispatch, [] {});
           for (int t : locals) {
-            deliver_local(*tasks_[static_cast<size_t>(t)], tup);
+            deliver_local(*tasks_[static_cast<size_t>(t)], tup,
+                          graw->src_task, pkt.gen);
           }
         } else {
           const int task = graw->endpoints[static_cast<size_t>(ep)];
-          deliver_local(*tasks_[static_cast<size_t>(task)], std::move(tup));
+          deliver_local(*tasks_[static_cast<size_t>(task)], std::move(tup),
+                        graw->src_task, pkt.gen);
         }
       });
 }
@@ -1515,6 +1688,9 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
         g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
     m.enqueued = sim_.now();
     m.relay = true;
+    m.src_task = pkt.src_task;
+    m.barrier = pkt.barrier;
+    m.gen = pkt.gen;
     // Relays bypass the producer's comm-time tracking (root_id = 0) but a
     // small forwarding charge lands on the relay's receive thread. The
     // push waits for queue space instead of dropping: relayed traffic is
@@ -1590,6 +1766,9 @@ void Engine::comm_track_delivery(uint64_t root_id) {
 
 void Engine::controller_sample(McastGroup& g) {
   if (!g.controller || g.switching || g.repairing) return;
+  // Epoch fence: never start a switch while a barrier is inside the tree
+  // (the controller simply re-samples at the next tick).
+  if (g.barrier_pending > 0) return;
   if (workers_[static_cast<size_t>(g.src_worker)]->down) return;
   auto& src = *tasks_[static_cast<size_t>(g.src_task)];
   const double lambda = g.stream_monitor->rate_tps(sim_.now());
@@ -1829,17 +2008,32 @@ void Engine::on_node_crash(int node) {
   // timeout turns those losses into failed (and possibly replayed) roots —
   // there is no explicit NACK, exactly like a real worker death.
   while (auto m = w.transfer_queue->try_pop()) {
+    if (m->barrier) continue;  // barrier losses abort the epoch, not data
     ++tuples_lost_;
     if (c_lost_ && !m->control) c_lost_->inc();
   }
   for (auto& t : tasks_) {
     if (t->worker != node) continue;
-    while (t->in_queue->try_pop()) {
+    while (auto d = t->in_queue->try_pop()) {
+      if (state_on() && state::is_barrier(*d->tuple)) continue;
       ++tuples_lost_;
       if (c_lost_) c_lost_->inc();
     }
+    // Alignment state died with the process; stashed deliveries are lost
+    // like everything else queued inside it.
+    for (const auto& d : t->align_buf) {
+      if (state::is_barrier(*d.tuple)) continue;
+      ++tuples_lost_;
+      if (c_lost_) c_lost_->inc();
+    }
+    t->align_buf.clear();
+    t->aligning = false;
+    t->barriers_from.clear();
     t->processing = false;
   }
+  // A crash dooms any in-flight epoch (some snapshot or barrier is gone):
+  // abort it now so alignment elsewhere unblocks and fences lift.
+  if (state_on()) abort_epoch();
   reset_qps_touching(node);
   for (auto& gp : groups_) {
     auto& g = *gp;
@@ -1907,6 +2101,24 @@ void Engine::on_node_restart(int node) {
       }
     }
   }
+  // Checkpoint recovery: after the simulated restore-read delay, roll the
+  // whole topology back to the last committed epoch and replay the spouts'
+  // uncommitted emissions. recovery_gen_ lets a newer restart supersede a
+  // restore still in flight.
+  if (state_on() && cfg_.state.recover_from_checkpoint) {
+    const Duration restore = state::store_transfer_time(
+        checkpoints_.committed_bytes_total(), cfg_.state.store_read_gbps,
+        cfg_.state.store_read_latency);
+    const uint64_t gen = ++recovery_gen_;
+    if (trace_on()) {
+      tracer_.complete("state.restore", "fault", node, obs::kLaneControl,
+                       sim_.now(), restore, 0, "bytes",
+                       static_cast<double>(checkpoints_.committed_bytes_total()));
+    }
+    sim_.schedule_after(restore, [this, gen] {
+      if (gen == recovery_gen_) do_recover();
+    });
+  }
   pump_worker(w);
 }
 
@@ -1936,6 +2148,10 @@ void Engine::on_endpoint_crash(McastGroup& g, int dead_ep) {
 
 void Engine::maybe_start_repair(McastGroup& g) {
   if (g.repairing || g.repair_queue.empty()) return;
+  // Epoch fence: a barrier still inside the tree defers the repair (the
+  // fence lifts when the barrier drains or the epoch aborts, at most one
+  // checkpoint interval later — both re-invoke maybe_start_repair).
+  if (g.barrier_pending > 0) return;
   const int dead_ep = g.repair_queue.front();
   g.repair_queue.erase(g.repair_queue.begin());
   if (g.tree.removed(dead_ep)) {
@@ -1994,6 +2210,8 @@ void Engine::finish_repair(McastGroup& g) {
 
 void Engine::maybe_replay(uint64_t root) {
   if (!cfg_.replay_on_failure) return;
+  // Checkpointed streams rewind from the epoch log instead (do_recover).
+  if (state_on() && cfg_.state.recover_from_checkpoint) return;
   auto it = replays_.find(root);
   if (it == replays_.end()) return;
   const int task = it->second.task;
@@ -2023,7 +2241,9 @@ void Engine::maybe_replay(uint64_t root) {
                     root);
   }
   acker_.root_emitted(root, sim_.now());
-  if (!tk.in_queue->try_push(Delivery{tuple, 0})) {
+  Delivery rep{tuple, 0};
+  rep.gen = recovery_gen_;
+  if (!tk.in_queue->try_push(std::move(rep))) {
     // Spout queue full: fail again, which re-enters maybe_replay (bounded
     // by max_replays_per_root).
     if (c_input_drops_) c_input_drops_->inc();
@@ -2050,6 +2270,323 @@ void Engine::finish_switch(McastGroup& g) {
   auto& sw = *workers_[static_cast<size_t>(g.src_worker)];
   sw.paused = false;
   pump_worker(sw);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing: epoch barriers, aligned snapshots, exactly-once recovery
+// ---------------------------------------------------------------------------
+
+void Engine::checkpoint_tick() {
+  // An epoch that did not finish within one interval is wedged (a barrier
+  // was lost, a worker died, a queue stayed full): abort it. This bounds
+  // alignment stall at one interval and makes alignment deadlock-free.
+  if (checkpoints_.in_flight()) abort_epoch();
+  // Skip injection while the cluster is unstable — the epoch would only
+  // abort again. Checkpointing resumes at the next tick.
+  for (const auto& wp : workers_) {
+    if (wp->down) return;
+  }
+  for (const auto& gp : groups_) {
+    if (gp->switching || gp->repairing) return;
+  }
+  inject_epoch();
+}
+
+void Engine::inject_epoch() {
+  const uint64_t epoch = checkpoints_.begin_epoch(sim_.now());
+  epoch_inject_time_ = sim_.now();
+  bool ok = false;
+  for (auto& tp : tasks_) {
+    if (!tp->spout) continue;
+    ++checkpoints_.stats().barriers_injected;
+    if (c_barriers_) c_barriers_->inc();
+    auto b = std::make_shared<const dsps::Tuple>(
+        state::make_barrier(epoch, /*src_task=*/-1));
+    Delivery bd{b, 0};
+    bd.gen = recovery_gen_;
+    if (!tp->in_queue->try_push(std::move(bd))) {
+      // A spout queue so full even the barrier bounces: give up on this
+      // epoch (the barrier would arrive behind an unbounded backlog
+      // anyway) and retry at the next tick.
+      abort_epoch();
+      return;
+    }
+    ok = true;
+  }
+  if (trace_on()) {
+    tracer_.instant("barrier.inject", "state",
+                    primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                    obs::kLaneControl, sim_.now(), epoch);
+  }
+  if (!ok) abort_epoch();  // no spouts: nothing can ever align
+}
+
+void Engine::schedule_epoch_abort(uint64_t epoch) {
+  // Deferred: barrier losses surface deep inside delivery callbacks where
+  // aborting (which re-pumps executors) could re-enter the caller.
+  sim_.schedule_after(0, [this, epoch] {
+    if (checkpoints_.in_flight() && checkpoints_.current_epoch() == epoch) {
+      abort_epoch();
+    }
+  });
+}
+
+void Engine::abort_epoch() {
+  if (!checkpoints_.in_flight()) return;
+  const uint64_t epoch = checkpoints_.current_epoch();
+  checkpoints_.abort_epoch();
+  if (c_epoch_aborts_) c_epoch_aborts_->inc();
+  if (trace_on()) {
+    tracer_.instant("epoch.abort", "state",
+                    primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                    obs::kLaneControl, sim_.now(), epoch);
+  }
+  // Lift the tree fences and release every aligning executor.
+  for (auto& gp : groups_) {
+    if (gp->barrier_pending > 0) {
+      gp->barrier_pending = 0;
+      maybe_start_repair(*gp);
+    }
+  }
+  for (auto& tp : tasks_) {
+    auto& t = *tp;
+    if (t.aligning) {
+      checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
+      t.aligning = false;
+      t.barriers_from.clear();
+    }
+    pump_task(t);
+  }
+}
+
+void Engine::handle_barrier(TaskRt& t, Delivery d) {
+  const dsps::Tuple& b = *d.tuple;
+  const uint64_t epoch = state::barrier_epoch(b);
+  // Tree fence: this barrier copy has left the dissemination structure.
+  // Decremented for stale copies too — every copy counted in was counted
+  // out (aborts zero the fence wholesale).
+  if (!t.spout) {
+    auto git = stream_to_group_.find(static_cast<int>(b.stream));
+    if (git != stream_to_group_.end()) {
+      auto& g = *groups_[git->second];
+      if (g.barrier_pending > 0 && --g.barrier_pending == 0) {
+        maybe_start_repair(g);
+      }
+    }
+  }
+  if (!checkpoints_.in_flight() || epoch != checkpoints_.current_epoch() ||
+      epoch <= t.epoch) {
+    // Barrier of an aborted or superseded epoch: discard.
+    t.processing = false;
+    pump_task(t);
+    return;
+  }
+  if (t.spout) {
+    // Spouts have a single input (the injector) — aligned by definition.
+    complete_alignment(t, epoch);
+    return;
+  }
+  if (!t.aligning) {
+    t.aligning = true;
+    t.align_start = sim_.now();
+    t.barriers_from.clear();
+  }
+  t.barriers_from.insert(chan_key(b.stream, state::barrier_src_task(b)));
+  if (static_cast<int>(t.barriers_from.size()) >= t.expected_barriers) {
+    complete_alignment(t, epoch);
+    return;
+  }
+  t.processing = false;
+  pump_task(t);  // other channels keep flowing while we align
+}
+
+void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
+  if (t.aligning) {
+    checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
+    t.aligning = false;
+    t.barriers_from.clear();
+  }
+  t.epoch = epoch;
+  std::vector<uint8_t> blob = t.store.snapshot();
+  const uint64_t blob_bytes = blob.size();
+  if (!checkpoints_.stage_snapshot(t.id, epoch, std::move(blob))) {
+    t.processing = false;  // epoch died while we were aligning
+    pump_task(t);
+    return;
+  }
+  const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  if (!t.spout && op.out_streams.empty()) checkpoints_.sink_seal(t.id);
+  // Serialization is the only synchronous cost the executor pays; the
+  // barrier is forwarded BEFORE the stash drains (downstream FIFO order),
+  // and the persistent-store write proceeds off the critical path.
+  const Duration ser = cfg_.cost.ser_time(blob_bytes);
+  TaskRt* traw = &t;
+  t.cpu->execute(
+      ser, sim::CpuCategory::kSerialization, [this, traw, epoch, blob_bytes] {
+        forward_barrier(*traw, epoch, [this, traw, epoch, blob_bytes] {
+          const Duration wr = state::store_transfer_time(
+              blob_bytes, cfg_.state.store_write_gbps,
+              cfg_.state.store_write_latency);
+          const int task = traw->id;
+          sim_.schedule_after(wr, [this, task, epoch] {
+            if (checkpoints_.write_complete(task, epoch)) commit_epoch();
+          });
+          traw->processing = false;
+          pump_task(*traw);
+        });
+      });
+}
+
+void Engine::forward_barrier(TaskRt& t, uint64_t epoch,
+                             std::function<void()> done) {
+  const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  if (op.out_streams.empty()) {
+    done();
+    return;
+  }
+  auto streams = std::make_shared<std::vector<int>>(op.out_streams);
+  auto idx = std::make_shared<size_t>(0);
+  TaskRt* traw = &t;
+  loop_async([this, traw, epoch, streams, idx,
+              done = std::move(done)](auto next) {
+    if (*idx >= streams->size()) {
+      done();
+      return;
+    }
+    const int stream = (*streams)[(*idx)++];
+    auto bar = state::make_barrier(epoch, traw->id);
+    bar.stream = static_cast<uint32_t>(stream);
+    auto tup = std::make_shared<const dsps::Tuple>(std::move(bar));
+    auto git = stream_to_group_.find(stream);
+    if (git != stream_to_group_.end()) {
+      auto& g = *groups_[git->second];
+      if (g.switching || g.repairing) {
+        // Never push a barrier into a reconfiguring tree — the epoch must
+        // not straddle a topology change, so it aborts instead.
+        schedule_epoch_abort(epoch);
+        next();
+        return;
+      }
+      g.barrier_pending += static_cast<int>(g.total_dst_instances);
+      send_mcast(*traw, g, std::move(tup), [next] { next(); });
+      return;
+    }
+    const auto& s = topo_.streams[static_cast<size_t>(stream)];
+    // Every downstream channel needs the barrier, whatever the grouping.
+    send_point_to_point(*traw, std::move(tup),
+                        op_tasks_[static_cast<size_t>(s.to_op)],
+                        [next] { next(); });
+  });
+}
+
+void Engine::commit_epoch() {
+  const uint64_t epoch = checkpoints_.current_epoch();
+  checkpoints_.commit(sim_.now());
+  const auto& st = checkpoints_.stats();
+  if (c_epochs_) {
+    c_epochs_->set(st.epochs_completed);
+    c_snapshot_bytes_->set(st.snapshot_bytes_total);
+    c_committed_->set(st.committed_completions);
+    c_dup_filtered_->set(st.duplicates_filtered);
+  }
+  if (trace_on()) {
+    tracer_.complete("checkpoint", "state",
+                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                     obs::kLaneControl, epoch_inject_time_,
+                     sim_.now() - epoch_inject_time_, epoch);
+  }
+  // All barrier copies were consumed before the last snapshot staged, but
+  // a fence held by a copy lost to a racing crash must not outlive the
+  // epoch: lift any straggler.
+  for (auto& gp : groups_) {
+    if (gp->barrier_pending > 0) {
+      gp->barrier_pending = 0;
+      maybe_start_repair(*gp);
+    }
+  }
+}
+
+void Engine::do_recover() {
+  checkpoints_.rewind_to_committed();
+  for (auto& gp : groups_) {
+    gp->barrier_pending = 0;
+    maybe_start_repair(*gp);
+  }
+  const uint64_t committed = checkpoints_.last_committed();
+  for (auto& tp : tasks_) {
+    auto& t = *tp;
+    t.aligning = false;
+    t.barriers_from.clear();
+    // Roll back: everything queued past the committed epoch is superseded
+    // by the log replay below (counted lost like any discarded instance).
+    for (const auto& d : t.align_buf) {
+      if (state::is_barrier(*d.tuple)) continue;
+      ++tuples_lost_;
+      if (c_lost_) c_lost_->inc();
+    }
+    t.align_buf.clear();
+    while (auto d = t.in_queue->try_pop()) {
+      if (state::is_barrier(*d->tuple)) continue;
+      ++tuples_lost_;
+      if (c_lost_) c_lost_->inc();
+    }
+    t.epoch = committed;
+    // Spout stores are source-reader state: the live value already covers
+    // every logged emission, and the log replay below re-delivers the
+    // uncommitted gap. Rolling a spout back to the committed image would
+    // make post-recovery generation repeat the replayed offsets as fresh
+    // roots — duplicates the root-id filter cannot see.
+    if (t.spout) continue;
+    const auto& img = checkpoints_.committed_image(t.id);
+    if (!img.empty()) {
+      t.store.restore(img);
+    } else if (t.store.cell_count() > 0) {
+      // Nothing committed yet: back to the operator's initial state.
+      t.store.restore(t.epoch0_image);
+    }
+  }
+  if (trace_on()) {
+    tracer_.instant("state.recovered", "state",
+                    primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                    obs::kLaneControl, sim_.now(), committed);
+  }
+  // Rewind every spout to the committed epoch's source offsets.
+  for (auto& tp : tasks_) {
+    if (!tp->spout) continue;
+    auto log = checkpoints_.uncommitted_emissions(tp->id);
+    if (!log.empty()) replay_spout_log(*tp, std::move(log));
+  }
+}
+
+void Engine::replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples) {
+  auto list = std::make_shared<std::vector<dsps::Tuple>>(std::move(tuples));
+  auto idx = std::make_shared<size_t>(0);
+  const uint64_t gen = recovery_gen_;
+  TaskRt* st = &s;
+  loop_async([this, list, idx, st, gen](auto next) {
+    if (gen != recovery_gen_) return;  // a newer recovery owns the rewind
+    if (*idx >= list->size()) return;
+    if (workers_[static_cast<size_t>(st->worker)]->down) return;
+    auto tup = std::make_shared<dsps::Tuple>((*list)[*idx]);
+    tup->root_emit_time = sim_.now();
+    Delivery d{tup, 0};
+    d.replayed = true;
+    d.gen = gen;
+    if (st->in_queue->try_push(std::move(d))) {
+      ++*idx;
+      ++checkpoints_.stats().replayed_tuples;
+      // A replay is a fresh emission instance for conservation purposes
+      // (the earlier instance was written off as lost at the rollback).
+      if (c_roots_) c_roots_->inc();
+      if (c_ckpt_replays_) c_ckpt_replays_->inc();
+      if (cfg_.enable_acking) acker_.root_emitted(tup->root_id, sim_.now());
+      // One event per injected tuple keeps the recursion flat and lets
+      // replay interleave with regular pumping deterministically.
+      sim_.schedule_after(0, [next] { next(); });
+      return;
+    }
+    st->in_queue->wait_for_space([next] { next(); });
+  });
 }
 
 }  // namespace whale::core

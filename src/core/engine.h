@@ -11,11 +11,13 @@
 // tree) whose relays forward raw bytes without re-serialization.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,6 +37,8 @@
 #include "sim/cpu.h"
 #include "sim/queue.h"
 #include "sim/simulation.h"
+#include "state/checkpoint.h"
+#include "state/state_store.h"
 
 namespace whale::core {
 
@@ -78,6 +82,12 @@ class Engine {
   // drain post-window events may call it again for a settled census.
   void obs_finalize();
 
+  // --- checkpointing ------------------------------------------------------
+  // Epoch/commit/exactly-once bookkeeping; inert unless cfg_.state.enabled.
+  const state::CheckpointCoordinator& checkpoints() const {
+    return checkpoints_;
+  }
+
  private:
   // An outbound message waiting in a worker's transfer queue.
   struct OutMsg {
@@ -86,6 +96,17 @@ class Engine {
     Time enqueued = 0;
     uint64_t root_id = 0;  // 0 = untracked
     bool control = false;
+    // Checkpointing metadata (simulation-side; not wire bytes). src_task
+    // identifies the producing executor — barrier alignment is per input
+    // channel (stream, upstream task). Barriers are never counted as data
+    // losses; a lost barrier just aborts its epoch at the next tick.
+    int32_t src_task = -1;
+    bool barrier = false;
+    // Dataflow incarnation at send time. A recovery bumps the engine's
+    // generation; copies still on the wire from the previous incarnation
+    // are dropped at processing time (their roots are replayed from the
+    // epoch log), like a restarted system severing its old connections.
+    uint64_t gen = 0;
     // Relayed multicast traffic arrives already batched (the relay READ
     // fetched a full bundle) and is forwarded immediately, bypassing the
     // slicing buffer — re-batching per hop would add WTL per tree layer.
@@ -97,6 +118,9 @@ class Engine {
   struct Delivery {
     std::shared_ptr<const dsps::Tuple> tuple;
     uint64_t ack_edge = 0;
+    int32_t src_task = -1;  // producing task (-1 = spout arrival/injection)
+    bool replayed = false;  // checkpoint-recovery re-emission (skip the log)
+    uint64_t gen = 0;       // dataflow incarnation (see OutMsg::gen)
   };
 
   struct TaskRt {
@@ -108,6 +132,20 @@ class Engine {
     bool processing = false;
     std::vector<uint64_t> shuffle_counters;  // per out stream
     Duration busy_snapshot = 0;
+
+    // Checkpointing (src/state). Alignment is per input channel: a channel
+    // key is (stream << 32) | src_task, expected_barriers is the number of
+    // channels (sum of upstream parallelism over in-streams).
+    state::StateStore store;
+    uint64_t epoch = 0;  // last epoch this task snapshotted
+    int expected_barriers = 0;
+    bool aligning = false;
+    Time align_start = 0;
+    std::unordered_set<uint64_t> barriers_from;  // channels already fenced
+    std::deque<Delivery> align_buf;  // post-barrier deliveries, stashed
+    // Pristine snapshot taken at run start; recovery target while no
+    // epoch has committed yet.
+    std::vector<uint8_t> epoch0_image;
   };
 
   struct WorkerRt {
@@ -166,6 +204,12 @@ class Engine {
     size_t repair_acks_got = 0;
     std::vector<int> repair_pending_workers;  // workers owing a repair ACK
     std::vector<int> repair_queue;            // dead endpoints awaiting repair
+
+    // Epoch fence: barrier copies still inside this tree. While positive,
+    // switches and repairs are deferred (and while switching/repairing, no
+    // barrier enters the tree), so an epoch is never split by a topology
+    // change. abort_epoch() zeroes it, bounding deferral at one interval.
+    int barrier_pending = 0;
   };
 
   // Per-root-tuple multicast reception tracking (drives the multicast
@@ -214,7 +258,8 @@ class Engine {
   // attributes packet processing to the upstream instance, Fig. 2d).
   std::pair<Duration, sim::CpuCategory> source_send_cost(
       uint64_t bytes) const;
-  void deliver_local(TaskRt& dst, std::shared_ptr<const dsps::Tuple> tup);
+  void deliver_local(TaskRt& dst, std::shared_ptr<const dsps::Tuple> tup,
+                     int src_task, uint64_t gen);
 
   // --- send/receive loops ---------------------------------------------------
   void pump_worker(WorkerRt& w);
@@ -255,6 +300,27 @@ class Engine {
   void finish_repair(McastGroup& g);
   int repair_dstar(const McastGroup& g) const;
   void maybe_replay(uint64_t root);
+
+  // --- checkpointing (src/state) --------------------------------------------
+  bool state_on() const { return state::kCompiled && cfg_.state.enabled; }
+  static uint64_t chan_key(uint32_t stream, int src_task) {
+    return (static_cast<uint64_t>(stream) << 32) |
+           static_cast<uint32_t>(src_task);
+  }
+  void checkpoint_tick();
+  void inject_epoch();
+  // Deferred (scheduled) abort of `epoch` if it is still the in-flight one;
+  // safe to call from deep inside delivery callbacks.
+  void schedule_epoch_abort(uint64_t epoch);
+  void abort_epoch();
+  void handle_barrier(TaskRt& t, Delivery d);
+  void complete_alignment(TaskRt& t, uint64_t epoch);
+  // Emits `epoch`'s barrier on every out-stream of t (its own frames, never
+  // batched with data); `done` fires once every copy is queued.
+  void forward_barrier(TaskRt& t, uint64_t epoch, std::function<void()> done);
+  void commit_epoch();
+  void do_recover();
+  void replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples);
 
   // --- metrics ----------------------------------------------------------------
   bool in_window() const {
@@ -309,6 +375,12 @@ class Engine {
   std::vector<uint64_t> mcast_processed_per_stream_;
   std::vector<uint32_t> stream_dst_count_;
 
+  // Checkpointing runtime. recovery_gen_ invalidates in-flight restore /
+  // replay continuations when a newer recovery supersedes them.
+  state::CheckpointCoordinator checkpoints_;
+  uint64_t recovery_gen_ = 0;
+  Time epoch_inject_time_ = 0;
+
   uint64_t next_root_id_ = 1;
   int primary_src_task_ = -1;  // source of the first all-grouped stream
   int primary_src_worker_ = -1;
@@ -341,6 +413,14 @@ class Engine {
   obs::Counter* c_qp_fabric_drops_ = nullptr;  // QP->fabric drops (finalized)
   obs::Counter* c_inflight_ = nullptr;      // end-of-run census (finalized)
   LatencyHistogram* h_sink_latency_ = nullptr;
+  // Checkpointing counters (state.* namespace; set from coordinator stats).
+  obs::Counter* c_epochs_ = nullptr;
+  obs::Counter* c_epoch_aborts_ = nullptr;
+  obs::Counter* c_barriers_ = nullptr;
+  obs::Counter* c_snapshot_bytes_ = nullptr;
+  obs::Counter* c_committed_ = nullptr;
+  obs::Counter* c_dup_filtered_ = nullptr;
+  obs::Counter* c_ckpt_replays_ = nullptr;
 
   RunReport report_;
 };

@@ -93,6 +93,18 @@ struct RunReport {
   Duration repair_time_max = 0;
   Duration downtime_total = 0;      // sum of per-node down intervals
 
+  // --- checkpointing & exactly-once (src/state) ----------------------------
+  uint64_t epochs_completed = 0;   // committed checkpoint epochs
+  uint64_t epochs_aborted = 0;     // wedged/aborted epochs
+  uint64_t barriers_injected = 0;  // barriers pushed at spouts
+  uint64_t checkpoint_bytes = 0;   // snapshot bytes written to the store
+  uint64_t committed_completions = 0;  // sink roots committed exactly once
+  uint64_t duplicates_filtered = 0;    // sink-side exactly-once rejections
+  uint64_t checkpoint_recoveries = 0;  // restore-from-checkpoint episodes
+  uint64_t checkpoint_replays = 0;     // tuples re-injected from epoch logs
+  Duration align_stall_total = 0;      // summed barrier-alignment stall
+  Duration epoch_duration_avg = 0;     // inject -> commit
+
   // --- meta ----------------------------------------------------------------
   uint64_t sim_events = 0;
 
@@ -158,6 +170,21 @@ struct RunReport {
     u("mc_p99", static_cast<uint64_t>(multicast_latency.p99()));
     u("ack_cnt", ack_latency.count());
     u("events", sim_events);
+    // Checkpointing fields appear only when the run actually checkpointed:
+    // with the state layer off (or compiled out) nothing below can be
+    // nonzero and the string stays bit-identical to the pre-state baseline.
+    if (epochs_completed || epochs_aborted || barriers_injected ||
+        checkpoint_recoveries || checkpoint_replays) {
+      u("epochs", epochs_completed);
+      u("epoch_aborts", epochs_aborted);
+      u("barriers", barriers_injected);
+      u("ckpt_bytes", checkpoint_bytes);
+      u("committed", committed_completions);
+      u("dup_filtered", duplicates_filtered);
+      u("ckpt_recoveries", checkpoint_recoveries);
+      u("ckpt_replays", checkpoint_replays);
+      u("align_stall_ns", static_cast<uint64_t>(align_stall_total));
+    }
     return s;
   }
 };

@@ -20,6 +20,10 @@
 #include "common/time.h"
 #include "dsps/tuple.h"
 
+namespace whale::state {
+class StateStore;  // state/state_store.h; kept out of dsps' dependencies
+}
+
 namespace whale::dsps {
 
 // Stream partitioning strategies (Sec. 1/2 of the paper).
@@ -72,6 +76,10 @@ class Bolt {
   virtual void prepare(const TaskContext&) {}
   // Processes one tuple; returns the modeled CPU time of the user logic.
   virtual Duration execute(const Tuple& t, Emitter& out) = 0;
+  // Registers checkpointable state cells (called once after prepare()).
+  // Stateless operators keep the default no-op; they still participate in
+  // epochs with empty snapshots.
+  virtual void register_state(whale::state::StateStore&) {}
 };
 
 class Spout {
@@ -82,6 +90,8 @@ class Spout {
   virtual Tuple next(Rng& rng) = 0;
   // Modeled CPU time to produce one tuple (reading from the source queue).
   virtual Duration emit_cost() const { return us(2); }
+  // Registers checkpointable state cells (called once after prepare()).
+  virtual void register_state(whale::state::StateStore&) {}
 };
 
 using BoltFactory = std::function<std::unique_ptr<Bolt>()>;

@@ -42,6 +42,11 @@ struct Packet {
   Buffer bytes;
   Time created = 0;   // stamped by the producer, for end-to-end latency
   uint64_t id = 0;    // opaque correlation id (tuple / batch id)
+  // Simulation-side metadata (not wire bytes): producing task for barrier
+  // alignment, barrier flag so loss accounting can skip epoch barriers.
+  int32_t src_task = -1;
+  bool barrier = false;
+  uint64_t gen = 0;  // dataflow incarnation at send time (recovery fencing)
 
   uint64_t size() const { return bytes.size(); }
 };

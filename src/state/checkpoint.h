@@ -1,0 +1,131 @@
+// Epoch/checkpoint bookkeeping for aligned-barrier snapshots
+// (DESIGN.md §10).
+//
+// Barriers are in-band sentinel Tuples (root_id 0 — never acked, never
+// tracked — plus a magic first value carrying {epoch, src_task}), so they
+// ride every existing transport path unchanged: framed once per
+// destination worker, fanned out by the dispatcher, forwarded by relays
+// in tree order, kept FIFO with data by the per-channel slicer. No new
+// wire message kind exists.
+//
+// The CheckpointCoordinator is passive bookkeeping: the engine drives
+// every transition and owns all scheduling. At most one epoch is in
+// flight; an epoch that cannot finish by the next injection tick (or that
+// loses a barrier to a full queue, a crash, or a dead destination) is
+// aborted, which bounds alignment stall at one checkpoint interval and
+// makes alignment deadlock impossible by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "dsps/tuple.h"
+#include "state/state.h"
+
+namespace whale::state {
+
+// "WBARRIER" — collides with data only if a tuple's first value is this
+// exact int64 AND its root id is 0; engine root ids start at 1.
+inline constexpr int64_t kBarrierMagic = 0x5742415252494552LL;
+
+dsps::Tuple make_barrier(uint64_t epoch, int src_task);
+bool is_barrier(const dsps::Tuple& t);
+uint64_t barrier_epoch(const dsps::Tuple& t);
+int barrier_src_task(const dsps::Tuple& t);
+
+class CheckpointCoordinator {
+ public:
+  struct Stats {
+    uint64_t epochs_completed = 0;
+    uint64_t epochs_aborted = 0;
+    uint64_t barriers_injected = 0;
+    uint64_t snapshot_bytes_total = 0;
+    uint64_t committed_completions = 0;  // sink roots committed (first time)
+    uint64_t duplicates_filtered = 0;    // sink roots rejected by the filter
+    uint64_t recoveries = 0;
+    uint64_t replayed_tuples = 0;        // re-injected from the epoch log
+    Duration last_epoch_duration = 0;    // inject -> commit
+    Duration epoch_duration_total = 0;
+    Duration align_stall_total = 0;      // summed over tasks (engine-fed)
+  };
+
+  void reset(int num_tasks);
+
+  // --- epoch lifecycle ---------------------------------------------------
+  bool in_flight() const { return in_flight_; }
+  uint64_t current_epoch() const { return epoch_; }
+  uint64_t last_committed() const { return last_committed_; }
+  uint64_t begin_epoch(Time now);
+  // Drops staged snapshots; sealed-but-uncommitted sink roots stay queued
+  // for the next epoch (they were genuinely processed — only the snapshot
+  // failed).
+  void abort_epoch();
+
+  // --- per-task snapshot flow -------------------------------------------
+  // Stages `task`'s serialized state for the in-flight epoch. Returns
+  // false if the epoch is stale (already aborted or superseded).
+  bool stage_snapshot(int task, uint64_t epoch, std::vector<uint8_t> blob);
+  // Marks the async persistent-store write for `task` done. Returns true
+  // when every task's write has landed (caller then calls commit()).
+  bool write_complete(int task, uint64_t epoch);
+  bool ready_to_commit() const;
+  // Commits the in-flight epoch: staged snapshots become the committed
+  // images, sealed sink roots enter the committed set, logs are pruned.
+  void commit(Time now);
+
+  // --- sink exactly-once -------------------------------------------------
+  void sink_pending(int task, uint64_t root);
+  // On sink alignment: everything pending at `task` was processed before
+  // the barrier, so it belongs to the in-flight epoch.
+  void sink_seal(int task);
+  bool root_committed(uint64_t root) const {
+    return committed_roots_.count(root) != 0;
+  }
+  uint64_t committed_root_count() const { return committed_roots_.size(); }
+
+  // --- source offsets (the epoch log) ------------------------------------
+  // Logged at spout-process time under the epoch the tuple belongs to
+  // (the spout's current epoch + 1). Pruned at commit; everything with a
+  // tag beyond the committed epoch is the rewind set.
+  void log_emission(int spout_task, uint64_t epoch, const dsps::Tuple& t);
+  std::vector<dsps::Tuple> uncommitted_emissions(int spout_task) const;
+
+  // --- recovery -----------------------------------------------------------
+  const std::vector<uint8_t>& committed_image(int task) const;
+  uint64_t committed_bytes_total() const;
+  // Rolls back to the last committed epoch: aborts any in-flight epoch
+  // and discards uncommitted sink pendings (replay re-delivers them).
+  void rewind_to_committed();
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  int num_tasks_ = 0;
+  bool in_flight_ = false;
+  uint64_t epoch_ = 0;           // highest epoch ever started
+  uint64_t last_committed_ = 0;  // 0 = nothing committed yet
+  Time epoch_start_ = 0;
+
+  std::unordered_map<int, std::vector<uint8_t>> staged_;
+  std::unordered_set<int> writes_done_;
+  std::unordered_map<int, std::vector<uint8_t>> committed_;
+
+  std::unordered_map<int, std::vector<uint64_t>> sink_pending_;
+  std::vector<uint64_t> sealed_roots_;
+  std::unordered_set<uint64_t> committed_roots_;
+
+  struct LogEntry {
+    uint64_t epoch;
+    dsps::Tuple tuple;
+  };
+  std::unordered_map<int, std::deque<LogEntry>> logs_;
+
+  Stats stats_;
+};
+
+}  // namespace whale::state

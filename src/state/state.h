@@ -1,0 +1,56 @@
+// Checkpointing & state management configuration (DESIGN.md §10).
+//
+// Mirrors the obs layer's zero-overhead contract: the subsystem can be
+// compiled out entirely with -DWHALE_NO_STATE (CMake option WHALE_NO_STATE),
+// and even when compiled in it is disabled by default. With checkpointing
+// off the engine schedules zero extra events and counts nothing, so the
+// behavioural fingerprints stay bit-identical to the committed baseline.
+#pragma once
+
+#include "common/time.h"
+
+namespace whale::state {
+
+#ifdef WHALE_NO_STATE
+inline constexpr bool kCompiled = false;
+#else
+inline constexpr bool kCompiled = true;
+#endif
+
+// Knobs for the checkpoint coordinator and the simulated persistent store.
+// Lives here (header-only) so core/config.h can embed it without a link
+// dependency on whale_state.
+struct StateConfig {
+  // Master switch. Off = no barriers, no snapshots, no recovery changes.
+  bool enabled = false;
+
+  // Interval between epoch barrier injections at the spouts. Also the
+  // alignment-stall bound: an epoch that has not committed by the next
+  // tick is aborted, so alignment can never wedge the pipeline for more
+  // than one interval.
+  Duration checkpoint_interval = ms(100);
+
+  // Simulated persistent store calibration (think local NVMe + fsync).
+  // Snapshot writes/reads are modeled as latency + bytes/bandwidth and
+  // charged asynchronously — the executor only pays serialization CPU.
+  double store_write_gbps = 2.0;   // GB/s sequential write
+  double store_read_gbps = 4.0;    // GB/s sequential read
+  Duration store_write_latency = us(200);
+  Duration store_read_latency = us(100);
+
+  // When true (default), a node restart restores the last committed epoch
+  // and rewinds spouts to its source offsets instead of relying on the
+  // acker's timeout replay; acker replay is disabled for the run.
+  bool recover_from_checkpoint = true;
+};
+
+// Modeled time to push `bytes` through the store at `gbps` plus fixed
+// latency. Used for both snapshot writes and recovery reads.
+inline Duration store_transfer_time(uint64_t bytes, double gbps,
+                                    Duration latency) {
+  const double secs =
+      gbps > 0 ? static_cast<double>(bytes) / (gbps * 1e9) : 0.0;
+  return latency + from_seconds(secs);
+}
+
+}  // namespace whale::state

@@ -1,0 +1,45 @@
+#include "state/state_store.h"
+
+#include <cassert>
+
+namespace whale::state {
+
+void StateStore::register_cell(std::string name, SaveFn save,
+                               RestoreFn restore) {
+  for (const auto& c : cells_) {
+    assert(c.name != name && "duplicate state cell name");
+    (void)c;
+  }
+  cells_.push_back(Cell{std::move(name), std::move(save),
+                        std::move(restore)});
+}
+
+std::vector<uint8_t> StateStore::snapshot() const {
+  ByteWriter w;
+  w.put_varint(cells_.size());
+  for (const auto& c : cells_) {
+    w.put_string(c.name);
+    ByteWriter body;
+    c.save(body);
+    auto bytes = body.take();
+    w.put_bytes(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  }
+  return w.take();
+}
+
+void StateStore::restore(std::span<const uint8_t> blob) {
+  ByteReader r(blob);
+  const size_t n = r.get_varint();
+  for (size_t i = 0; i < n; ++i) {
+    const std::string name = r.get_string();
+    const std::vector<uint8_t> body = r.get_bytes();
+    for (auto& c : cells_) {
+      if (c.name != name) continue;
+      ByteReader br(std::span<const uint8_t>(body.data(), body.size()));
+      c.restore(br);
+      break;
+    }
+  }
+}
+
+}  // namespace whale::state

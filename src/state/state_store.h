@@ -1,0 +1,51 @@
+// Keyed/operator state registration + serde (DESIGN.md §10).
+//
+// Each executor owns one StateStore. During prepare() the operator
+// registers named cells — a (save, restore) closure pair over its live
+// in-memory structures. A snapshot serializes every cell into one
+// length-prefixed byte blob (via ByteWriter); restore replays the blob
+// back through the matching cells by name, so layout changes between
+// registration orders are tolerated as long as names survive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace whale::state {
+
+class StateStore {
+ public:
+  using SaveFn = std::function<void(ByteWriter&)>;
+  using RestoreFn = std::function<void(ByteReader&)>;
+
+  // Registers a named cell. Names must be unique within one store; the
+  // pair is invoked on every snapshot/restore of the owning executor.
+  void register_cell(std::string name, SaveFn save, RestoreFn restore);
+
+  // Serializes all cells: varint cell count, then per cell
+  // {string name, varint body_size, body bytes}.
+  std::vector<uint8_t> snapshot() const;
+
+  // Replays a snapshot produced by this store (or an identically
+  // registered one). Unknown cell names are skipped; registered cells
+  // missing from the blob are left untouched.
+  void restore(std::span<const uint8_t> blob);
+
+  size_t cell_count() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+
+ private:
+  struct Cell {
+    std::string name;
+    SaveFn save;
+    RestoreFn restore;
+  };
+  std::vector<Cell> cells_;
+};
+
+}  // namespace whale::state

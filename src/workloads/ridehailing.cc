@@ -1,6 +1,11 @@
 #include "workloads/ridehailing.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/bytes.h"
+#include "state/state_store.h"
+
 namespace whale::workloads {
 
 dsps::Tuple DriverLocationSpout::next(Rng& rng) {
@@ -21,6 +26,13 @@ dsps::Tuple PassengerRequestSpout::next(Rng& rng) {
   t.values.emplace_back(rng.uniform(0.0, p_.city_km));
   t.values.emplace_back(rng.uniform(0.0, p_.city_km));
   return t;
+}
+
+void PassengerRequestSpout::register_state(whale::state::StateStore& store) {
+  store.register_cell(
+      "next_request",
+      [this](ByteWriter& w) { w.put_i64(next_request_); },
+      [this](ByteReader& r) { next_request_ = r.get_i64(); });
 }
 
 void MatchingBolt::prepare(const dsps::TaskContext& ctx) {
@@ -74,6 +86,37 @@ Duration MatchingBolt::execute(const dsps::Tuple& t, dsps::Emitter& out) {
   return p_.match_fixed_cost + p_.match_per_driver_cost * slice;
 }
 
+void MatchingBolt::register_state(whale::state::StateStore& store) {
+  // Keys are sorted so the snapshot bytes are a pure function of the map
+  // contents, independent of hash-table insertion history.
+  store.register_cell(
+      "drivers",
+      [this](ByteWriter& w) {
+        std::vector<int64_t> ids;
+        ids.reserve(drivers_.size());
+        for (const auto& [id, pos] : drivers_) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        w.put_varint(ids.size());
+        for (int64_t id : ids) {
+          const Pos& pos = drivers_.at(id);
+          w.put_i64(id);
+          w.put_f64(pos.x);
+          w.put_f64(pos.y);
+        }
+      },
+      [this](ByteReader& r) {
+        drivers_.clear();
+        const uint64_t n = r.get_varint();
+        drivers_.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          const int64_t id = r.get_i64();
+          const double x = r.get_f64();
+          const double y = r.get_f64();
+          drivers_[id] = Pos{x, y};
+        }
+      });
+}
+
 Duration RideAggregationBolt::execute(const dsps::Tuple& t,
                                       dsps::Emitter&) {
   const int64_t request = t.as_int(0);
@@ -84,6 +127,35 @@ Duration RideAggregationBolt::execute(const dsps::Tuple& t,
   // Bound state: forget old requests once the table grows large.
   if (best_.size() > 200000) best_.clear();
   return p_.aggregation_cost;
+}
+
+void RideAggregationBolt::register_state(whale::state::StateStore& store) {
+  store.register_cell(
+      "best",
+      [this](ByteWriter& w) {
+        std::vector<int64_t> requests;
+        requests.reserve(best_.size());
+        for (const auto& [req, match] : best_) requests.push_back(req);
+        std::sort(requests.begin(), requests.end());
+        w.put_varint(requests.size());
+        for (int64_t req : requests) {
+          const auto& [driver, d2] = best_.at(req);
+          w.put_i64(req);
+          w.put_i64(driver);
+          w.put_f64(d2);
+        }
+      },
+      [this](ByteReader& r) {
+        best_.clear();
+        const uint64_t n = r.get_varint();
+        best_.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          const int64_t req = r.get_i64();
+          const int64_t driver = r.get_i64();
+          const double d2 = r.get_f64();
+          best_.try_emplace(req, driver, d2);
+        }
+      });
 }
 
 }  // namespace whale::workloads

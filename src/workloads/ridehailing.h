@@ -51,6 +51,9 @@ class PassengerRequestSpout : public dsps::Spout {
   explicit PassengerRequestSpout(RideHailingParams p) : p_(p) {}
   dsps::Tuple next(Rng& rng) override;
   Duration emit_cost() const override { return us(2); }
+  // Checkpoints the request counter so replayed runs resume numbering at
+  // the committed source offset instead of re-issuing ids from zero.
+  void register_state(whale::state::StateStore& store) override;
 
  private:
   RideHailingParams p_;
@@ -66,6 +69,8 @@ class MatchingBolt : public dsps::Bolt {
   // cost reflects the steady state instead of an empty table.
   void prepare(const dsps::TaskContext& ctx) override;
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
+  // Checkpoints the key-grouped driver slice (id -> position).
+  void register_state(whale::state::StateStore& store) override;
 
   size_t stored_drivers() const { return drivers_.size(); }
 
@@ -83,6 +88,8 @@ class RideAggregationBolt : public dsps::Bolt {
  public:
   explicit RideAggregationBolt(RideHailingParams p) : p_(p) {}
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
+  // Checkpoints the best-match table (request -> {driver, distance_sq}).
+  void register_state(whale::state::StateStore& store) override;
 
   size_t decided() const { return best_.size(); }
 

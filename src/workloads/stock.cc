@@ -1,5 +1,11 @@
 #include "workloads/stock.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "common/bytes.h"
+#include "state/state_store.h"
+
 namespace whale::workloads {
 
 StockSpout::StockSpout(StockParams p)
@@ -32,6 +38,13 @@ Duration SplitBolt::execute(const dsps::Tuple& t, dsps::Emitter& out) {
       two_streams_ ? (t.as_int(1) == kBuy ? 0u : 1u) : 0u;
   out.emit(std::move(fwd), out_stream);
   return p_.split_cost;
+}
+
+void SplitBolt::register_state(whale::state::StateStore& store) {
+  store.register_cell(
+      "filtered",
+      [this](ByteWriter& w) { w.put_u64(filtered_); },
+      [this](ByteReader& r) { filtered_ = r.get_u64(); });
 }
 
 Duration StockMatchingBolt::execute(const dsps::Tuple& t,
@@ -78,6 +91,51 @@ Duration StockMatchingBolt::execute(const dsps::Tuple& t,
   return validation + p_.book_op_cost;
 }
 
+void StockMatchingBolt::register_state(whale::state::StateStore& store) {
+  // Symbols are sorted so the snapshot bytes are a pure function of the
+  // book contents, independent of hash-table insertion history.
+  store.register_cell(
+      "books",
+      [this](ByteWriter& w) {
+        std::vector<int64_t> symbols;
+        symbols.reserve(books_.size());
+        for (const auto& [sym, book] : books_) symbols.push_back(sym);
+        std::sort(symbols.begin(), symbols.end());
+        w.put_varint(symbols.size());
+        auto put_side = [&w](const std::deque<Order>& side) {
+          w.put_varint(side.size());
+          for (const Order& o : side) {
+            w.put_f64(o.price);
+            w.put_i64(o.qty);
+          }
+        };
+        for (int64_t sym : symbols) {
+          const Book& book = books_.at(sym);
+          w.put_i64(sym);
+          put_side(book.buys);
+          put_side(book.sells);
+        }
+      },
+      [this](ByteReader& r) {
+        books_.clear();
+        auto get_side = [&r](std::deque<Order>& side) {
+          const uint64_t n = r.get_varint();
+          for (uint64_t i = 0; i < n; ++i) {
+            const double price = r.get_f64();
+            const int64_t qty = r.get_i64();
+            side.push_back(Order{price, qty});
+          }
+        };
+        const uint64_t n = r.get_varint();
+        books_.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          Book& book = books_[r.get_i64()];
+          get_side(book.buys);
+          get_side(book.sells);
+        }
+      });
+}
+
 size_t StockMatchingBolt::open_orders() const {
   size_t n = 0;
   for (const auto& [sym, b] : books_) n += b.buys.size() + b.sells.size();
@@ -93,6 +151,33 @@ Duration VolumeAggregationBolt::execute(const dsps::Tuple& t,
   total_volume_ += vol;
   if (volume_.size() > 100000) volume_.clear();
   return p_.aggregation_cost;
+}
+
+void VolumeAggregationBolt::register_state(whale::state::StateStore& store) {
+  store.register_cell(
+      "volume",
+      [this](ByteWriter& w) {
+        std::vector<int64_t> symbols;
+        symbols.reserve(volume_.size());
+        for (const auto& [sym, vol] : volume_) symbols.push_back(sym);
+        std::sort(symbols.begin(), symbols.end());
+        w.put_varint(symbols.size());
+        for (int64_t sym : symbols) {
+          w.put_i64(sym);
+          w.put_f64(volume_.at(sym));
+        }
+        w.put_f64(total_volume_);
+      },
+      [this](ByteReader& r) {
+        volume_.clear();
+        const uint64_t n = r.get_varint();
+        volume_.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          const int64_t sym = r.get_i64();
+          volume_[sym] = r.get_f64();
+        }
+        total_volume_ = r.get_f64();
+      });
 }
 
 }  // namespace whale::workloads

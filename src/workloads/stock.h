@@ -59,6 +59,8 @@ class SplitBolt : public dsps::Bolt {
   SplitBolt(StockParams p, bool two_streams)
       : p_(p), two_streams_(two_streams) {}
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
+  // Checkpoints the filtered-record counter.
+  void register_state(whale::state::StateStore& store) override;
 
   uint64_t filtered() const { return filtered_; }
 
@@ -76,6 +78,8 @@ class StockMatchingBolt : public dsps::Bolt {
   explicit StockMatchingBolt(StockParams p) : p_(p) {}
   void prepare(const dsps::TaskContext& ctx) override { ctx_ = ctx; }
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
+  // Checkpoints the per-owned-symbol order books.
+  void register_state(whale::state::StateStore& store) override;
 
   size_t open_orders() const;
 
@@ -98,8 +102,11 @@ class VolumeAggregationBolt : public dsps::Bolt {
  public:
   explicit VolumeAggregationBolt(StockParams p) : p_(p) {}
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
+  // Checkpoints the per-symbol volume map and the running total.
+  void register_state(whale::state::StateStore& store) override;
 
   double total_volume() const { return total_volume_; }
+  size_t symbols_tracked() const { return volume_.size(); }
 
  private:
   StockParams p_;

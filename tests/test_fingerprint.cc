@@ -20,6 +20,7 @@
 
 #include "apps/fingerprint_suite.h"
 #include "obs/obs.h"
+#include "state/state.h"
 
 namespace {
 
@@ -76,6 +77,28 @@ TEST(FingerprintParity, TracingOnMatchesBaseline) {
     auto it = baseline.find(got.label);
     ASSERT_NE(it, baseline.end()) << got.label;
     EXPECT_EQ(got.fingerprint, it->second) << got.label;
+  }
+}
+
+// Property 3: the state/checkpointing layer compiled in but runtime-off is
+// bit-identical to the baseline regardless of how its other knobs are set.
+// (Property 1 already covers the default-constructed StateConfig; this
+// pins that `enabled` alone gates every effect.)
+TEST(FingerprintParity, DisabledCheckpointingMatchesBaseline) {
+  if (!whale::state::kCompiled) GTEST_SKIP() << "built with WHALE_NO_STATE";
+  const auto baseline = load_baseline();
+  for (const auto& label : fingerprint_probe_labels()) {
+    const FingerprintLine got =
+        run_fingerprint_probe(label, [](whale::core::EngineConfig& cfg) {
+          cfg.state.enabled = false;
+          cfg.state.checkpoint_interval = whale::ms(5);
+          cfg.state.store_write_latency = whale::ms(50);
+          cfg.state.recover_from_checkpoint = false;
+        });
+    auto it = baseline.find(got.label);
+    ASSERT_NE(it, baseline.end()) << got.label;
+    EXPECT_EQ(got.fingerprint, it->second) << got.label;
+    EXPECT_EQ(got.fingerprint.find("epochs="), std::string::npos) << got.label;
   }
 }
 

@@ -281,5 +281,74 @@ TEST(Stock, VolumeAggregationAccumulates) {
   EXPECT_DOUBLE_EQ(agg.total_volume(), 1550.0);
 }
 
+// --- state retention bounds --------------------------------------------------
+// These pin the workloads' state-size policies so the checkpoint/state-API
+// refit cannot silently change what each operator retains.
+
+TEST(RideHailing, DriverTableIsBoundedByIdDomainUpserts) {
+  RideHailingParams p;
+  p.num_drivers = 0;
+  MatchingBolt b(p);
+  b.prepare(ctx(0, 1));
+  dsps::Emitter e;
+  for (int round = 0; round < 5; ++round) {
+    for (int64_t id = 0; id < 100; ++id) {
+      dsps::Tuple t;
+      t.values = {dsps::Value{int64_t{kDriverUpdate}}, dsps::Value{id},
+                  dsps::Value{1.0 * round}, dsps::Value{2.0}};
+      b.execute(t, e);
+    }
+  }
+  // Updates upsert: the table never exceeds the live driver-id domain.
+  EXPECT_EQ(b.stored_drivers(), 100u);
+}
+
+TEST(RideHailing, AggregationEvictsAllAboveTwoHundredThousandRequests) {
+  RideHailingParams p;
+  RideAggregationBolt agg(p);
+  dsps::Emitter e;
+  auto match = [&](int64_t req) {
+    dsps::Tuple t;
+    t.values = {dsps::Value{req}, dsps::Value{int64_t{1}},
+                dsps::Value{0.5}};
+    agg.execute(t, e);
+  };
+  for (int64_t r = 0; r < 200000; ++r) match(r);
+  EXPECT_EQ(agg.decided(), 200000u);  // at the bound: retained
+  match(200000);                      // one past: full clear
+  EXPECT_EQ(agg.decided(), 0u);
+}
+
+TEST(Stock, BookDepthCappedAt1024PerSide) {
+  StockParams p;
+  StockMatchingBolt b(p);
+  b.prepare(ctx(0, 1));
+  dsps::Emitter e;
+  // Resting sells never cross other sells, so the side only grows until
+  // the depth bound starts dropping the oldest order.
+  for (int i = 0; i < 1500; ++i) {
+    b.execute(order(7, kSell, 100.0, 1), e);
+  }
+  EXPECT_EQ(b.open_orders(), 1024u);
+}
+
+TEST(Stock, VolumeMapEvictsAllAboveOneHundredThousandSymbols) {
+  StockParams p;
+  VolumeAggregationBolt agg(p);
+  dsps::Emitter e;
+  auto trade = [&](int64_t sym) {
+    dsps::Tuple t;
+    t.values = {dsps::Value{sym}, dsps::Value{int64_t{1}},
+                dsps::Value{2.0}};
+    agg.execute(t, e);
+  };
+  for (int64_t s = 0; s < 100000; ++s) trade(s);
+  EXPECT_EQ(agg.symbols_tracked(), 100000u);  // at the bound: retained
+  trade(100000);                              // one past: full clear
+  EXPECT_EQ(agg.symbols_tracked(), 0u);
+  // The running total survives eviction.
+  EXPECT_DOUBLE_EQ(agg.total_volume(), 2.0 * 100001);
+}
+
 }  // namespace
 }  // namespace whale::workloads

@@ -16,6 +16,11 @@ picked up: every `*.json` under the results dir whose top level carries
 Chrome trace JSON (`traceEvents`) is intentionally left alone — load it in
 chrome://tracing or ui.perfetto.dev instead.
 
+Checkpoint-recovery bench JSON (`"bench": "checkpoint_recovery"`, written
+by bench_checkpoint_recovery to results/BENCH_checkpoint.json) becomes
+    csv/<stem>_interval_sweep.csv  one row per checkpoint interval
+    csv/<stem>_summary.csv         overhead + vs_acker scenario rows
+
 Usage: tools/results_to_csv.py [results_dir]
 """
 import csv
@@ -80,6 +85,37 @@ def metrics_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
     return written
 
 
+def checkpoint_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
+    """Writes sweep + summary CSVs for one checkpoint-recovery bench doc."""
+    written = 0
+    sweep = doc.get("interval_sweep", [])
+    if sweep:
+        cols = sorted({k for row in sweep for k in row})
+        # interval_ms leads; the rest stay alphabetical for stable diffs.
+        cols = ["interval_ms"] + [c for c in cols if c != "interval_ms"]
+        with (out / f"{stem}_interval_sweep.csv").open("w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(cols)
+            for row in sweep:
+                w.writerow([row.get(c, "") for c in cols])
+        written += 1
+    scenarios = {}
+    for section in ("overhead", "vs_acker"):
+        for name, row in doc.get(section, {}).items():
+            if isinstance(row, dict):
+                scenarios[f"{section}/{name}"] = row
+    if scenarios:
+        cols = sorted({k for row in scenarios.values() for k in row})
+        with (out / f"{stem}_summary.csv").open("w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["scenario"] + cols)
+            for name in sorted(scenarios):
+                w.writerow([name] +
+                           [scenarios[name].get(c, "") for c in cols])
+        written += 1
+    return written
+
+
 def main() -> int:
     results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     out = results / "csv"
@@ -100,8 +136,12 @@ def main() -> int:
             doc = json.loads(jf.read_text())
         except (json.JSONDecodeError, UnicodeDecodeError):
             continue
-        if not isinstance(doc, dict) or "times_ns" not in doc \
-                or "series" not in doc:
+        if not isinstance(doc, dict):
+            continue
+        if doc.get("bench") == "checkpoint_recovery":
+            written += checkpoint_csvs(doc, out, jf.stem)
+            continue
+        if "times_ns" not in doc or "series" not in doc:
             continue  # not a metrics snapshot file (e.g. a Chrome trace)
         written += metrics_csvs(doc, out, jf.stem)
     print(f"wrote {written} csv files to {out}")

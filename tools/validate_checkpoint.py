@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifact written by bench_checkpoint_recovery.
+
+Checks (stdlib only, exit non-zero on the first failure):
+  - top-level schema: bench tag, config, interval_sweep, overhead, vs_acker
+  - interval_sweep: non-empty, distinct ascending intervals; every row has
+    the common + checkpoint fields as numbers; exactly one recovery per
+    crash row; epochs complete at every interval; exactly-once holds
+    (duplicates == 0) and nothing stays missing after the spout-log replay
+  - overhead: the checkpoint-off and checkpoint-on fault-free runs deliver
+    identical goodput (the barrier machinery must be cheap), and the
+    recorded goodput_overhead_frac is within tolerance
+  - vs_acker: the acker-only replay duplicates sink applications (at-least
+    -once) while the checkpointed run stays exactly-once
+
+Usage: tools/validate_checkpoint.py [path]   (default:
+       results/BENCH_checkpoint.json)
+"""
+import json
+import pathlib
+import sys
+
+COMMON_FIELDS = (
+    "sink_tps", "mcast_tps", "recovery_ms", "emitted", "duplicates",
+    "missing", "queue_rejects", "tuples_lost",
+)
+CHECKPOINT_FIELDS = (
+    "epochs_completed", "epochs_aborted", "barriers", "checkpoint_bytes",
+    "committed_completions", "duplicates_filtered", "recoveries",
+    "checkpoint_replays", "align_stall_ms", "epoch_duration_ms",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def require_numbers(row: dict, fields, where: str) -> None:
+    for f in fields:
+        if f not in row:
+            fail(f"{where} missing field '{f}'")
+        if not isinstance(row[f], (int, float)) or isinstance(row[f], bool):
+            fail(f"{where} field '{f}' is not numeric: {row[f]!r}")
+
+
+def validate_sweep(sweep) -> None:
+    if not isinstance(sweep, list) or not sweep:
+        fail("interval_sweep must be a non-empty list")
+    intervals = []
+    for row in sweep:
+        require_numbers(row, ("interval_ms",) + COMMON_FIELDS +
+                        CHECKPOINT_FIELDS,
+                        f"interval_sweep[{len(intervals)}]")
+        intervals.append(row["interval_ms"])
+        where = f"interval {row['interval_ms']}ms"
+        if row["epochs_completed"] <= 0:
+            fail(f"{where}: no epoch ever committed")
+        if row["recoveries"] != 1:
+            fail(f"{where}: expected exactly one checkpoint recovery, "
+                 f"got {row['recoveries']}")
+        if row["checkpoint_replays"] <= 0:
+            fail(f"{where}: crash run replayed nothing from the epoch log")
+        if row["duplicates"] != 0:
+            fail(f"{where}: exactly-once violated — {row['duplicates']} "
+                 "duplicate sink applications")
+        if row["missing"] != 0:
+            fail(f"{where}: {row['missing']} sink applications missing "
+                 "after replay")
+        if row["recovery_ms"] < 0:
+            fail(f"{where}: throughput never recovered after the crash")
+    if intervals != sorted(intervals) or len(set(intervals)) != len(intervals):
+        fail(f"intervals must be distinct and ascending: {intervals}")
+    print(f"  interval_sweep  ok: {len(sweep)} intervals "
+          f"{intervals}, exactly-once at every point")
+
+
+def validate_overhead(overhead) -> None:
+    for name in ("off", "on"):
+        if name not in overhead:
+            fail(f"overhead missing scenario '{name}'")
+        require_numbers(overhead[name], COMMON_FIELDS + ("wall_ms", "events"),
+                        f"overhead/{name}")
+    require_numbers(overhead["on"], CHECKPOINT_FIELDS, "overhead/on")
+    frac = overhead.get("goodput_overhead_frac")
+    if not isinstance(frac, (int, float)):
+        fail("overhead missing goodput_overhead_frac")
+    if abs(frac) > 0.02:
+        fail(f"checkpoint-on goodput overhead {frac:+.3f} exceeds 2% "
+             "(barriers should be within noise)")
+    if overhead["on"]["epochs_completed"] <= 0:
+        fail("fault-free checkpoint run committed no epochs")
+    if overhead["on"]["recoveries"] != 0:
+        fail("fault-free run should not recover")
+    print(f"  overhead        ok: goodput overhead {frac:+.3f}")
+
+
+def validate_vs_acker(vs) -> None:
+    for name in ("acker_only", "checkpoint"):
+        if name not in vs:
+            fail(f"vs_acker missing scenario '{name}'")
+        require_numbers(vs[name], COMMON_FIELDS, f"vs_acker/{name}")
+    acker, ckpt = vs["acker_only"], vs["checkpoint"]
+    require_numbers(acker, ("replayed_roots", "replay_completions",
+                            "failed_roots"), "vs_acker/acker_only")
+    require_numbers(ckpt, CHECKPOINT_FIELDS, "vs_acker/checkpoint")
+    if acker["replayed_roots"] <= 0:
+        fail("acker-only run replayed nothing — the crash scenario is inert")
+    if ckpt["duplicates"] != 0:
+        fail(f"checkpointed run produced {ckpt['duplicates']} duplicates")
+    if acker["duplicates"] <= ckpt["duplicates"]:
+        fail("acker-only replay should duplicate sink applications "
+             f"(got {acker['duplicates']} vs checkpoint "
+             f"{ckpt['duplicates']}) — the comparison shows nothing")
+    print(f"  vs_acker        ok: acker duplicates {acker['duplicates']}, "
+          f"checkpoint duplicates {ckpt['duplicates']}")
+
+
+def main() -> int:
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else "results/BENCH_checkpoint.json")
+    if not path.exists():
+        fail(f"missing {path} (run build/bench/bench_checkpoint_recovery)")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "checkpoint_recovery":
+        fail(f"unexpected bench tag: {doc.get('bench')!r}")
+    for key in ("config", "interval_sweep", "overhead", "vs_acker"):
+        if key not in doc:
+            fail(f"missing top-level '{key}'")
+    validate_sweep(doc["interval_sweep"])
+    validate_overhead(doc["overhead"])
+    validate_vs_acker(doc["vs_acker"])
+    print("checkpoint bench artifact valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
