@@ -30,7 +30,8 @@ BuiltStockApp build_stock_exchange(const StockAppParams& p) {
   if (two) {
     sell_stream = b.connect(split, matching, dsps::Grouping::kAll);
   }
-  b.connect(matching, aggregation, dsps::Grouping::kFields, /*key_field=*/0);
+  const int trades = b.connect(matching, aggregation, p.aggregation_grouping,
+                               /*key_field=*/0);
 
   BuiltStockApp app;
   app.topology = b.build();
@@ -38,6 +39,7 @@ BuiltStockApp build_stock_exchange(const StockAppParams& p) {
   app.sell_stream = sell_stream;
   app.matching_op = matching;
   app.sink_op = aggregation;
+  app.trades_stream = trades;
   return app;
 }
 

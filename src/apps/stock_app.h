@@ -20,6 +20,11 @@ struct StockAppParams {
   // stream and a selling stream, BOTH all-grouped into matching (two
   // multicast groups share the source). Default keeps one tagged stream.
   bool separate_buy_sell_streams = false;
+  // Partitioning of the trades stream (matching -> aggregation). The
+  // volume aggregation is a per-symbol sum, so mergeable strategies
+  // (kPartialKey) and key-oblivious ones (kLoadAwareShuffle) are valid
+  // alternatives to the default key grouping; bench_skew sweeps them.
+  dsps::Grouping aggregation_grouping = dsps::Grouping::kFields;
 };
 
 struct BuiltStockApp {
@@ -28,6 +33,7 @@ struct BuiltStockApp {
   int sell_stream = -1;          // -1 in single-stream mode
   int matching_op = -1;
   int sink_op = -1;
+  int trades_stream = -1;  // matching -> aggregation (skew-bench target)
 };
 
 BuiltStockApp build_stock_exchange(const StockAppParams& p);

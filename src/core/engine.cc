@@ -62,12 +62,18 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
   }
   mcast_processed_per_stream_.assign(topo_.streams.size(), 0);
   stream_dst_count_.assign(topo_.streams.size(), 1);
+  stream_instance_counts_.resize(topo_.streams.size());
   for (const auto& s : topo_.streams) {
     if (s.grouping == dsps::Grouping::kAll) {
       stream_dst_count_[static_cast<size_t>(s.id)] = static_cast<uint32_t>(
           topo_.ops[static_cast<size_t>(s.to_op)].parallelism);
     }
+    stream_instance_counts_[static_cast<size_t>(s.id)].assign(
+        static_cast<size_t>(
+            topo_.ops[static_cast<size_t>(s.to_op)].parallelism),
+        0);
   }
+  stream_instance_snap_ = stream_instance_counts_;
   obs_setup();
 }
 
@@ -146,6 +152,31 @@ void Engine::obs_setup() {
     metrics_.gauge("task" + std::to_string(t->id) + ".in_queue", [t] {
       return static_cast<double>(t->in_queue->size());
     });
+  }
+  // Per-stream destination-load imbalance (max/avg over instances, 1.0 =
+  // perfectly balanced, 0 = no traffic yet). The gauge name carries the
+  // active partitioning strategy so metrics JSON is self-describing.
+  for (const auto& s : topo_.streams) {
+    const size_t sid = static_cast<size_t>(s.id);
+    const char* strat =
+        tasks_[static_cast<size_t>(
+                   op_tasks_[static_cast<size_t>(s.from_op)][0])]
+            ->strategies[out_index(s.from_op, s.id)]
+            ->name();
+    metrics_.gauge(
+        "stream" + std::to_string(s.id) + "." + strat + ".imbalance",
+        [this, sid] {
+          const auto& counts = stream_instance_counts_[sid];
+          uint64_t mx = 0, sum = 0;
+          for (uint64_t v : counts) {
+            mx = std::max(mx, v);
+            sum += v;
+          }
+          return sum ? static_cast<double>(mx) *
+                           static_cast<double>(counts.size()) /
+                           static_cast<double>(sum)
+                     : 0.0;
+        });
   }
   // The controller's own input signal (Eq. 1-3): the source instance's
   // queue depth plus its worker's transfer queue.
@@ -259,6 +290,15 @@ void Engine::build_runtime() {
   }
 
   op_tasks_.resize(topo_.ops.size());
+  // Stream -> out-index maps, fixed at wiring time (a per-emission scan
+  // used to re-derive this and silently fell back to slot 0 on a miss).
+  op_out_index_.resize(topo_.ops.size());
+  for (size_t op = 0; op < topo_.ops.size(); ++op) {
+    const auto& outs = topo_.ops[op].out_streams;
+    for (size_t i = 0; i < outs.size(); ++i) {
+      op_out_index_[op].emplace(outs[i], i);
+    }
+  }
   int task_id = 0;
   for (size_t op = 0; op < topo_.ops.size(); ++op) {
     const auto& spec = topo_.ops[op];
@@ -274,7 +314,11 @@ void Engine::build_runtime() {
           pool_of(t->node));
       t->in_queue = std::make_unique<sim::BoundedQueue<Delivery>>(
           cfg_.executor_queue_capacity);
-      t->shuffle_counters.assign(spec.out_streams.size(), 0);
+      t->strategies.reserve(spec.out_streams.size());
+      for (int sid : spec.out_streams) {
+        t->strategies.push_back(dsps::make_strategy(
+            topo_.streams[static_cast<size_t>(sid)]));
+      }
       dsps::TaskContext ctx{t->id,        t->op,    t->instance,
                             spec.parallelism, t->worker, t->node};
       if (spec.is_spout) {
@@ -285,6 +329,22 @@ void Engine::build_runtime() {
         t->bolt = spec.bolt_factory();
         t->bolt->prepare(ctx);
         if (state::kCompiled) t->bolt->register_state(t->store);
+      }
+      // Routing state joins the executor's checkpoint: a crash-rollback
+      // must rewind shuffle cursors / PKG tallies along with operator
+      // state, or replayed tuples take different routes than the
+      // originals. Cells use the reserved "__route." prefix — recovery
+      // restores them even for spouts (whose operator cells stay live).
+      if (state::kCompiled) {
+        for (size_t oi = 0; oi < spec.out_streams.size(); ++oi) {
+          dsps::PartitioningStrategy* strat = t->strategies[oi].get();
+          if (!strat->stateful()) continue;
+          t->store.register_cell(
+              std::string(dsps::kRoutingCellPrefix) + "s" +
+                  std::to_string(spec.out_streams[oi]),
+              [strat](ByteWriter& w) { strat->save(w); },
+              [strat](ByteReader& r) { strat->restore(r); });
+        }
       }
       // Alignment channel count: one per (in-stream, upstream task) pair.
       // Spouts align trivially (the injected barrier is their only input).
@@ -304,6 +364,36 @@ void Engine::build_runtime() {
       tasks_.push_back(std::move(t));
     }
   }
+
+  // Load probes for load-aware strategies (po2c): the destination
+  // executor's in-queue depth — the same signal the obs layer's queue
+  // gauges export. Installed in a second pass because a stream's
+  // destination tasks may be built after its producer.
+  for (auto& tp : tasks_) {
+    const auto& spec = topo_.ops[static_cast<size_t>(tp->op)];
+    for (size_t oi = 0; oi < spec.out_streams.size(); ++oi) {
+      if (!tp->strategies[oi]->load_aware()) continue;
+      const int to_op =
+          topo_.streams[static_cast<size_t>(spec.out_streams[oi])].to_op;
+      tp->strategies[oi]->set_load_probe([this, to_op](size_t i) {
+        const int dst = op_tasks_[static_cast<size_t>(to_op)][i];
+        return static_cast<double>(
+            tasks_[static_cast<size_t>(dst)]->in_queue->size());
+      });
+    }
+  }
+}
+
+size_t Engine::out_index(int op, int stream) const {
+  const auto& m = op_out_index_[static_cast<size_t>(op)];
+  const auto it = m.find(stream);
+  if (it == m.end()) {
+    throw std::logic_error(
+        "out_index: operator '" +
+        topo_.ops[static_cast<size_t>(op)].name + "' does not produce "
+        "stream " + std::to_string(stream));
+  }
+  return it->second;
 }
 
 void Engine::build_mcast_groups() {
@@ -547,6 +637,7 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
 }
 
 void Engine::snapshot_at_window_start() {
+  stream_instance_snap_ = stream_instance_counts_;
   for (auto& t : tasks_) t->busy_snapshot = t->cpu->busy_snapshot();
   for (auto& t : tasks_) t->cpu->mark_window();
   snap_bytes_tcp_ = fabric_->total_bytes_sent(net::Transport::kTcp);
@@ -699,6 +790,33 @@ void Engine::finalize_report(Duration measure) {
     if (wp->down) report_.downtime_total += sim_.now() - wp->down_since;
   }
 
+  // Per-stream routing rows: active strategy + window load spread over
+  // the destination instances (whole-run counts minus window-start snap).
+  report_.stream_routing.clear();
+  for (const auto& s : topo_.streams) {
+    const size_t sid = static_cast<size_t>(s.id);
+    RunReport::StreamRouting sr;
+    sr.stream = s.id;
+    sr.strategy =
+        tasks_[static_cast<size_t>(
+                   op_tasks_[static_cast<size_t>(s.from_op)][0])]
+            ->strategies[out_index(s.from_op, s.id)]
+            ->name();
+    const auto& now_counts = stream_instance_counts_[sid];
+    const auto& snap = stream_instance_snap_[sid];
+    for (size_t i = 0; i < now_counts.size(); ++i) {
+      const uint64_t v = now_counts[i] - snap[i];
+      sr.tuples += v;
+      sr.max_instance = std::max(sr.max_instance, v);
+    }
+    if (!now_counts.empty() && sr.tuples > 0) {
+      sr.avg_instance = static_cast<double>(sr.tuples) /
+                        static_cast<double>(now_counts.size());
+      sr.imbalance = static_cast<double>(sr.max_instance) / sr.avg_instance;
+    }
+    report_.stream_routing.push_back(std::move(sr));
+  }
+
   report_.sim_events = sim_.events_processed();
 }
 
@@ -830,6 +948,12 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
     pump_task(t);
     return;
   }
+  // Per-(stream, destination instance) load accounting: feeds the
+  // load-imbalance gauges and the report's stream_routing rows.
+  if (!t.spout) {
+    ++stream_instance_counts_[tuple->stream]
+                             [static_cast<size_t>(t.instance)];
+  }
   // A processed all-grouped tuple advances the throughput counters:
   // system throughput = processed broadcast tuples per destination
   // instance per second (robust under overload, where different
@@ -954,8 +1078,9 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
   const auto& s = topo_.streams[static_cast<size_t>(stream)];
   tuple.stream = static_cast<uint32_t>(stream);
   auto tup = std::make_shared<const dsps::Tuple>(std::move(tuple));
+  auto& strat = *t.strategies[out_index(t.op, stream)];
 
-  if (s.grouping == dsps::Grouping::kAll) {
+  if (strat.broadcast()) {
     auto it = stream_to_group_.find(stream);
     if (it != stream_to_group_.end()) {
       send_mcast(t, *groups_[it->second], std::move(tup), std::move(done));
@@ -972,27 +1097,7 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
   }
 
   const auto& dst_tasks = op_tasks_[static_cast<size_t>(s.to_op)];
-  const size_t n = dst_tasks.size();
-  int dst;
-  switch (s.grouping) {
-    case dsps::Grouping::kShuffle: {
-      // Per-(task, out-stream) round-robin counter.
-      const auto& op = topo_.ops[static_cast<size_t>(t.op)];
-      size_t oi = 0;
-      for (size_t i = 0; i < op.out_streams.size(); ++i) {
-        if (op.out_streams[i] == stream) oi = i;
-      }
-      dst = dst_tasks[t.shuffle_counters[oi]++ % n];
-      break;
-    }
-    case dsps::Grouping::kFields:
-      dst = dst_tasks[dsps::value_hash(tup->values[s.key_field]) % n];
-      break;
-    case dsps::Grouping::kGlobal:
-    default:
-      dst = dst_tasks[0];
-      break;
-  }
+  const int dst = dst_tasks[strat.select(*tup, dst_tasks.size())];
   send_point_to_point(t, std::move(tup), {dst}, std::move(done));
 }
 
@@ -2535,8 +2640,18 @@ void Engine::do_recover() {
     // every logged emission, and the log replay below re-delivers the
     // uncommitted gap. Rolling a spout back to the committed image would
     // make post-recovery generation repeat the replayed offsets as fresh
-    // roots — duplicates the root-id filter cannot see.
-    if (t.spout) continue;
+    // roots — duplicates the root-id filter cannot see. The spout's
+    // ROUTING cells are the exception: shuffle cursors (and friends) must
+    // rewind to the committed epoch, or the replayed emissions take
+    // different routes than their originals did.
+    if (t.spout) {
+      if (t.store.has_cell_matching(dsps::is_routing_cell)) {
+        const auto& img = checkpoints_.committed_image(t.id);
+        t.store.restore_if(img.empty() ? t.epoch0_image : img,
+                           dsps::is_routing_cell);
+      }
+      continue;
+    }
     const auto& img = checkpoints_.committed_image(t.id);
     if (!img.empty()) {
       t.store.restore(img);

@@ -26,6 +26,7 @@
 #include "core/report.h"
 #include "core/slicing.h"
 #include "dsps/acker.h"
+#include "dsps/partitioning.h"
 #include "dsps/topology.h"
 #include "faults/injector.h"
 #include "multicast/controller.h"
@@ -71,6 +72,16 @@ class Engine {
   }
   int group_dstar(size_t g) const;
   uint64_t transfer_queue_len(int worker) const;
+  // Active partitioning strategy of a task's out-stream slot (tests).
+  const dsps::PartitioningStrategy& task_strategy(int task,
+                                                  size_t out_idx) const {
+    return *tasks_[static_cast<size_t>(task)]->strategies[out_idx];
+  }
+  // Cumulative tuples a stream delivered to destination instance `i`
+  // (whole-run, not window-gated; drives the load-imbalance gauges).
+  uint64_t stream_instance_load(int stream, size_t i) const {
+    return stream_instance_counts_[static_cast<size_t>(stream)][i];
+  }
 
   // --- observability -----------------------------------------------------
   // Configured from cfg_.obs at construction; both are inert (zero extra
@@ -130,7 +141,11 @@ class Engine {
     std::unique_ptr<dsps::Bolt> bolt;
     std::unique_ptr<dsps::Spout> spout;
     bool processing = false;
-    std::vector<uint64_t> shuffle_counters;  // per out stream
+    // Routing: one strategy per out stream (indexed like op.out_streams).
+    // Stateful strategies (shuffle cursors, PKG tallies) are registered as
+    // "__route.*" cells in `store`, so routing state checkpoints and rolls
+    // back with everything else.
+    std::vector<std::unique_ptr<dsps::PartitioningStrategy>> strategies;
     Duration busy_snapshot = 0;
 
     // Checkpointing (src/state). Alignment is per input channel: a channel
@@ -344,6 +359,15 @@ class Engine {
   std::vector<std::unique_ptr<TaskRt>> tasks_;
   std::vector<std::unique_ptr<WorkerRt>> workers_;
   std::vector<std::vector<int>> op_tasks_;  // operator -> task ids
+  // Per operator: stream id -> index into op.out_streams, precomputed at
+  // wiring time. Routing a stream the operator does not own is a hard
+  // error (out_index throws), never a silent fallback.
+  std::vector<std::unordered_map<int, size_t>> op_out_index_;
+  size_t out_index(int op, int stream) const;
+  // Per (stream, destination instance) processed-tuple counts: whole-run
+  // live values for the obs gauges, window-start snapshot for the report.
+  std::vector<std::vector<uint64_t>> stream_instance_counts_;
+  std::vector<std::vector<uint64_t>> stream_instance_snap_;
   std::vector<std::unique_ptr<McastGroup>> groups_;
   std::unordered_map<int, uint32_t> stream_to_group_;
 

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/time.h"
@@ -104,6 +105,21 @@ struct RunReport {
   uint64_t checkpoint_replays = 0;     // tuples re-injected from epoch logs
   Duration align_stall_total = 0;      // summed barrier-alignment stall
   Duration epoch_duration_avg = 0;     // inject -> commit
+
+  // --- per-stream routing (DESIGN.md §11) ----------------------------------
+  // One row per stream: which PartitioningStrategy routed it and how the
+  // window's deliveries spread over the destination instances. Lets bench
+  // JSON self-describe the active strategy and quantify load imbalance
+  // (max/avg == 1.0 is perfectly balanced). Excluded from fingerprint().
+  struct StreamRouting {
+    int stream = 0;
+    std::string strategy;      // active strategy name ("shuffle", "pkg", ...)
+    uint64_t tuples = 0;       // deliveries processed downstream in-window
+    uint64_t max_instance = 0; // busiest destination instance's share
+    double avg_instance = 0.0;
+    double imbalance = 0.0;    // max/avg; 0 when no traffic
+  };
+  std::vector<StreamRouting> stream_routing;
 
   // --- meta ----------------------------------------------------------------
   uint64_t sim_events = 0;

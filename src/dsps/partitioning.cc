@@ -1,0 +1,103 @@
+#include "dsps/partitioning.h"
+
+#include <stdexcept>
+
+namespace whale::dsps {
+
+namespace {
+
+// SplitMix64 finalizer — decorrelates sequential inputs.
+uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t value_hash2(const Value& v) {
+  // A second, independent-enough hash: re-mix value_hash with a salt so
+  // the candidate pair {h1 % n, h2 % n} decorrelates even for small n.
+  return mix64(value_hash(v) + 0xda942042e4dd58b5ULL);
+}
+
+std::pair<size_t, size_t> PartialKeyStrategy::candidates(const Value& key,
+                                                         size_t n) {
+  const size_t c1 = static_cast<size_t>(value_hash(key) % n);
+  size_t c2 = static_cast<size_t>(value_hash2(key) % n);
+  // The pair must be distinct for the balancing to do anything; shifting
+  // the collision by one keeps it a stable function of the key.
+  if (c2 == c1 && n > 1) c2 = (c1 + 1) % n;
+  return {c1, c2};
+}
+
+size_t PartialKeyStrategy::select(const Tuple& t, size_t n) {
+  if (routed_.size() < n) routed_.resize(n, 0);
+  const auto [c1, c2] = candidates(t.values[key_field_], n);
+  const size_t pick = routed_[c2] < routed_[c1] ? c2 : c1;  // tie -> c1
+  ++routed_[pick];
+  return pick;
+}
+
+void PartialKeyStrategy::save(ByteWriter& w) const {
+  w.put_varint(routed_.size());
+  for (uint64_t v : routed_) w.put_u64(v);
+}
+
+void PartialKeyStrategy::restore(ByteReader& r) {
+  const uint64_t n = r.get_varint();
+  routed_.assign(n, 0);
+  for (uint64_t i = 0; i < n; ++i) routed_[i] = r.get_u64();
+}
+
+size_t PowerOfTwoChoicesStrategy::select(const Tuple&, size_t n) {
+  if (routed_.size() < n) routed_.resize(n, 0);
+  const uint64_t h = mix64(salt_ + 0x9e3779b97f4a7c15ULL * ++seq_);
+  const size_t c1 = static_cast<size_t>(h % n);
+  size_t c2 = static_cast<size_t>((h >> 32) % n);
+  if (c2 == c1 && n > 1) c2 = (c1 + 1) % n;
+  const double l1 = load_of(c1, routed_);
+  const double l2 = load_of(c2, routed_);
+  const size_t pick = l2 < l1 ? c2 : c1;  // tie -> c1
+  ++routed_[pick];
+  return pick;
+}
+
+void PowerOfTwoChoicesStrategy::save(ByteWriter& w) const {
+  w.put_u64(seq_);
+  w.put_varint(routed_.size());
+  for (uint64_t v : routed_) w.put_u64(v);
+}
+
+void PowerOfTwoChoicesStrategy::restore(ByteReader& r) {
+  seq_ = r.get_u64();
+  const uint64_t n = r.get_varint();
+  routed_.assign(n, 0);
+  for (uint64_t i = 0; i < n; ++i) routed_[i] = r.get_u64();
+}
+
+std::unique_ptr<PartitioningStrategy> make_strategy(const StreamSpec& s) {
+  switch (s.grouping) {
+    case Grouping::kShuffle:
+      return std::make_unique<ShuffleStrategy>();
+    case Grouping::kFields:
+      return std::make_unique<FieldsStrategy>(s.key_field);
+    case Grouping::kAll:
+      return std::make_unique<AllStrategy>();
+    case Grouping::kGlobal:
+      return std::make_unique<GlobalStrategy>();
+    case Grouping::kPartialKey:
+      return std::make_unique<PartialKeyStrategy>(s.key_field);
+    case Grouping::kLoadAwareShuffle:
+      // Salted by the stream id so parallel po2c streams draw
+      // decorrelated candidate sequences.
+      return std::make_unique<PowerOfTwoChoicesStrategy>(
+          static_cast<uint64_t>(s.id));
+  }
+  throw std::invalid_argument(
+      "make_strategy: unknown grouping " +
+      std::to_string(static_cast<int>(s.grouping)) + " on stream " +
+      std::to_string(s.id));
+}
+
+}  // namespace whale::dsps

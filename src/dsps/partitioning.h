@@ -1,0 +1,192 @@
+// Pluggable stream-partitioning strategies (DESIGN.md §11).
+//
+// Every stream routes through a PartitioningStrategy instance owned by the
+// *producing* executor (one strategy object per (task, out-stream) pair,
+// mirroring Storm's per-task grouping state). The four classic groupings
+// are refits of what the engine used to hard-wire — bit-identical routing,
+// pinned by the fingerprint baseline — and two skew-adaptive strategies
+// are layered on the same interface:
+//
+//  - Partial Key Grouping (Nasir et al., PAPERS.md): each key has TWO
+//    stable hash candidates; a tuple goes to whichever candidate this
+//    producer has sent fewer tuples so far. Hot keys split across exactly
+//    two instances, bounding load imbalance under Zipf skew while keeping
+//    per-key fan-out at 2 (mergeable aggregations only).
+//  - Power-of-two-choices shuffle: two pseudo-random candidates per tuple,
+//    routed to the one with the smaller live load signal (the destination
+//    executor's in-queue depth, the same signal the obs layer's queue
+//    gauges export). Key-oblivious, so it suits stateless downstreams.
+//
+// Strategies are deterministic state machines: given the same tuple
+// sequence (and, for load-aware ones, the same probe readings) they make
+// the same decisions. Stateful strategies expose save/restore so the
+// engine can fold routing state (round-robin cursors, PKG tallies, po2c
+// sequence counters) into the owning executor's checkpoint snapshot —
+// after a crash-rollback, replayed tuples retrace their original routes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dsps/topology.h"
+#include "dsps/tuple.h"
+
+namespace whale::dsps {
+
+// Second hash over tuple keys, independent of value_hash: PKG's candidate
+// pair is {value_hash(k) % n, value_hash2(k) % n}.
+uint64_t value_hash2(const Value& v);
+
+// Checkpoint-cell name prefix reserved for routing state. The engine
+// registers one cell per stateful strategy under this prefix in the
+// producing executor's StateStore; recovery restores routing cells even
+// where operator cells are intentionally skipped (spout source-reader
+// state stays live across a rollback, its routing cursors must not).
+inline constexpr char kRoutingCellPrefix[] = "__route.";
+
+inline bool is_routing_cell(const std::string& name) {
+  return name.rfind(kRoutingCellPrefix, 0) == 0;
+}
+
+class PartitioningStrategy {
+ public:
+  // Live load signal for destination instance i in [0, n) — the engine
+  // installs a probe reading the destination executor's in-queue depth.
+  using LoadProbe = std::function<double(size_t)>;
+
+  virtual ~PartitioningStrategy() = default;
+
+  // Stable strategy name; matches to_string(Grouping) so reports, metrics
+  // gauges and bench JSON are self-describing.
+  virtual const char* name() const = 0;
+
+  // One-to-many strategies never pick a single destination: the engine
+  // fans out through the multicast machinery instead of calling select().
+  virtual bool broadcast() const { return false; }
+
+  // Picks the destination instance index in [0, n) for one tuple (n >= 1).
+  virtual size_t select(const Tuple& t, size_t n) = 0;
+
+  // Routing-state serde. Stateless strategies keep the no-op defaults and
+  // are never registered as checkpoint cells.
+  virtual bool stateful() const { return false; }
+  virtual void save(ByteWriter&) const {}
+  virtual void restore(ByteReader&) {}
+
+  // Wants a live load probe (installed by the engine after wiring).
+  virtual bool load_aware() const { return false; }
+  void set_load_probe(LoadProbe probe) { load_probe_ = std::move(probe); }
+
+ protected:
+  // Load of destination i: the installed probe, else the local fallback
+  // tally the caller maintains (keeps unit tests probe-free).
+  double load_of(size_t i, const std::vector<uint64_t>& fallback) const {
+    if (load_probe_) return load_probe_(i);
+    return i < fallback.size() ? static_cast<double>(fallback[i]) : 0.0;
+  }
+
+  LoadProbe load_probe_;
+};
+
+// Round-robin across downstream instances. State: the cursor.
+class ShuffleStrategy final : public PartitioningStrategy {
+ public:
+  const char* name() const override { return "shuffle"; }
+  size_t select(const Tuple&, size_t n) override {
+    return static_cast<size_t>(counter_++ % n);
+  }
+  bool stateful() const override { return true; }
+  void save(ByteWriter& w) const override { w.put_u64(counter_); }
+  void restore(ByteReader& r) override { counter_ = r.get_u64(); }
+
+  uint64_t cursor() const { return counter_; }
+
+ private:
+  uint64_t counter_ = 0;
+};
+
+// Key grouping: hash of the key field picks the one owning instance.
+class FieldsStrategy final : public PartitioningStrategy {
+ public:
+  explicit FieldsStrategy(size_t key_field) : key_field_(key_field) {}
+  const char* name() const override { return "fields"; }
+  size_t select(const Tuple& t, size_t n) override {
+    return static_cast<size_t>(value_hash(t.values[key_field_]) % n);
+  }
+
+ private:
+  size_t key_field_;
+};
+
+// Always instance 0.
+class GlobalStrategy final : public PartitioningStrategy {
+ public:
+  const char* name() const override { return "global"; }
+  size_t select(const Tuple&, size_t) override { return 0; }
+};
+
+// One-to-many marker: the engine routes through mcast groups / fan-out.
+class AllStrategy final : public PartitioningStrategy {
+ public:
+  const char* name() const override { return "all"; }
+  bool broadcast() const override { return true; }
+  size_t select(const Tuple&, size_t) override { return 0; }
+};
+
+// Partial Key Grouping: two stable hash candidates per key; the tuple goes
+// to whichever candidate this producer has routed fewer tuples to so far.
+// State: the per-candidate routed-tuple tallies (and nothing keyed — the
+// candidate set is a pure function of the key, so memory stays O(n)).
+class PartialKeyStrategy final : public PartitioningStrategy {
+ public:
+  explicit PartialKeyStrategy(size_t key_field) : key_field_(key_field) {}
+  const char* name() const override { return "partial_key"; }
+  size_t select(const Tuple& t, size_t n) override;
+  bool stateful() const override { return true; }
+  void save(ByteWriter& w) const override;
+  void restore(ByteReader& r) override;
+
+  // Stable candidate pair for a key (exposed for tests): both in [0, n),
+  // distinct whenever n > 1.
+  static std::pair<size_t, size_t> candidates(const Value& key, size_t n);
+
+  const std::vector<uint64_t>& tallies() const { return routed_; }
+
+ private:
+  size_t key_field_;
+  std::vector<uint64_t> routed_;  // tuples routed per destination instance
+};
+
+// Power-of-two-choices shuffle: two pseudo-random candidates per tuple,
+// routed to the one with the smaller live load (destination executor
+// in-queue depth via the installed probe; local routed tallies otherwise).
+// State: the draw cursor + fallback tallies — checkpointing both keeps the
+// candidate sequence and the probe-free tie-breaks reproducible across a
+// crash-rollback.
+class PowerOfTwoChoicesStrategy final : public PartitioningStrategy {
+ public:
+  explicit PowerOfTwoChoicesStrategy(uint64_t salt) : salt_(salt) {}
+  const char* name() const override { return "po2c"; }
+  size_t select(const Tuple& t, size_t n) override;
+  bool stateful() const override { return true; }
+  bool load_aware() const override { return true; }
+  void save(ByteWriter& w) const override;
+  void restore(ByteReader& r) override;
+
+  uint64_t draws() const { return seq_; }
+
+ private:
+  uint64_t salt_;
+  uint64_t seq_ = 0;
+  std::vector<uint64_t> routed_;  // fallback load signal + tie statistics
+};
+
+// Builds the strategy for one stream spec. Every Grouping value maps to
+// exactly one concrete strategy; an unknown value is a hard error.
+std::unique_ptr<PartitioningStrategy> make_strategy(const StreamSpec& s);
+
+}  // namespace whale::dsps

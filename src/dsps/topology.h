@@ -26,12 +26,16 @@ class StateStore;  // state/state_store.h; kept out of dsps' dependencies
 
 namespace whale::dsps {
 
-// Stream partitioning strategies (Sec. 1/2 of the paper).
+// Stream partitioning strategies. The first four are Sec. 1/2 of the
+// paper; the last two are skew-adaptive extensions (DESIGN.md §11), each
+// backed by a PartitioningStrategy implementation in dsps/partitioning.h.
 enum class Grouping : uint8_t {
-  kShuffle = 0,  // round-robin across downstream instances
-  kFields,       // hash of a key field -> one instance (key grouping)
-  kAll,          // one-to-many: every downstream instance (the paper's focus)
-  kGlobal,       // always instance 0
+  kShuffle = 0,       // round-robin across downstream instances
+  kFields,            // hash of a key field -> one instance (key grouping)
+  kAll,               // one-to-many: every downstream instance (paper focus)
+  kGlobal,            // always instance 0
+  kPartialKey,        // PKG: two hash candidates per key, less-loaded wins
+  kLoadAwareShuffle,  // po2c: two random candidates, lighter queue wins
 };
 
 inline const char* to_string(Grouping g) {
@@ -40,8 +44,10 @@ inline const char* to_string(Grouping g) {
     case Grouping::kFields: return "fields";
     case Grouping::kAll: return "all";
     case Grouping::kGlobal: return "global";
+    case Grouping::kPartialKey: return "partial_key";
+    case Grouping::kLoadAwareShuffle: return "po2c";
   }
-  return "?";
+  return "unknown";
 }
 
 // Deterministic hash of a tuple field for fields grouping.

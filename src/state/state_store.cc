@@ -28,11 +28,18 @@ std::vector<uint8_t> StateStore::snapshot() const {
 }
 
 void StateStore::restore(std::span<const uint8_t> blob) {
+  restore_if(blob, nullptr);
+}
+
+void StateStore::restore_if(
+    std::span<const uint8_t> blob,
+    const std::function<bool(const std::string&)>& filter) {
   ByteReader r(blob);
   const size_t n = r.get_varint();
   for (size_t i = 0; i < n; ++i) {
     const std::string name = r.get_string();
     const std::vector<uint8_t> body = r.get_bytes();
+    if (filter && !filter(name)) continue;
     for (auto& c : cells_) {
       if (c.name != name) continue;
       ByteReader br(std::span<const uint8_t>(body.data(), body.size()));
@@ -40,6 +47,14 @@ void StateStore::restore(std::span<const uint8_t> blob) {
       break;
     }
   }
+}
+
+bool StateStore::has_cell_matching(
+    const std::function<bool(const std::string&)>& filter) const {
+  for (const auto& c : cells_) {
+    if (filter(c.name)) return true;
+  }
+  return false;
 }
 
 }  // namespace whale::state

@@ -36,6 +36,16 @@ class StateStore {
   // missing from the blob are left untouched.
   void restore(std::span<const uint8_t> blob);
 
+  // Like restore(), but only replays cells whose name passes `filter`.
+  // Used by recovery paths that roll back a subset of an executor's state
+  // (e.g. spout routing cursors while the source-reader cells stay live).
+  void restore_if(std::span<const uint8_t> blob,
+                  const std::function<bool(const std::string&)>& filter);
+
+  // True if any registered cell name passes `filter`.
+  bool has_cell_matching(
+      const std::function<bool(const std::string&)>& filter) const;
+
   size_t cell_count() const { return cells_.size(); }
   bool empty() const { return cells_.empty(); }
 

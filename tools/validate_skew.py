@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifact written by bench_skew.
+
+Checks (stdlib only, exit non-zero on the first failure):
+  - top-level schema: bench tag, config, sweep, acceptance
+  - sweep: every (zipf, strategy) combination appears exactly once for the
+    three strategies {fields, partial_key, po2c}; every row has numeric
+    load/latency fields; routed traffic is non-zero; no queue rejects
+    (routing, not backpressure, must shape the loads); imbalance is
+    internally consistent (== max/avg within tolerance, >= 1)
+  - skew responds: fields-grouping imbalance at the highest zipf exceeds
+    its uniform (lowest-zipf) value
+  - acceptance: at zipf 1.1 Partial Key Grouping spreads load strictly
+    better than fields grouping (the PR's headline claim), and the
+    recorded pkg_improves flag agrees with the numbers
+
+Usage: tools/validate_skew.py [path]   (default: results/BENCH_skew.json)
+"""
+import json
+import pathlib
+import sys
+
+STRATEGIES = ("fields", "partial_key", "po2c")
+ROW_FIELDS = (
+    "zipf", "tuples", "max_instance", "avg_instance", "imbalance",
+    "sink_tps", "p99_ms", "queue_rejects",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def require_numbers(row: dict, fields, where: str) -> None:
+    for f in fields:
+        if f not in row:
+            fail(f"{where} missing field '{f}'")
+        if not isinstance(row[f], (int, float)) or isinstance(row[f], bool):
+            fail(f"{where} field '{f}' is not numeric: {row[f]!r}")
+
+
+def validate_sweep(sweep) -> dict:
+    if not isinstance(sweep, list) or not sweep:
+        fail("sweep must be a non-empty list")
+    points = {}
+    for i, row in enumerate(sweep):
+        where = f"sweep[{i}]"
+        if row.get("strategy") not in STRATEGIES:
+            fail(f"{where}: unknown strategy {row.get('strategy')!r}")
+        require_numbers(row, ROW_FIELDS, where)
+        key = (row["zipf"], row["strategy"])
+        if key in points:
+            fail(f"{where}: duplicate point {key}")
+        points[key] = row
+        where = f"zipf {row['zipf']} / {row['strategy']}"
+        if row["tuples"] <= 0:
+            fail(f"{where}: no traffic routed on the trades stream")
+        if row["queue_rejects"] != 0:
+            fail(f"{where}: queue rejects distort the load measurement")
+        if row["imbalance"] < 1.0:
+            fail(f"{where}: imbalance {row['imbalance']} below 1 (max/avg)")
+        expect = row["max_instance"] / row["avg_instance"]
+        if abs(expect - row["imbalance"]) > 0.01:
+            fail(f"{where}: imbalance {row['imbalance']} != max/avg "
+                 f"{expect:.4f}")
+        if row["sink_tps"] <= 0:
+            fail(f"{where}: sink delivered nothing")
+
+    zipfs = sorted({z for (z, _) in points})
+    if len(zipfs) < 3:
+        fail(f"need at least 3 zipf points, got {zipfs}")
+    for z in zipfs:
+        for s in STRATEGIES:
+            if (z, s) not in points:
+                fail(f"missing sweep point (zipf {z}, {s})")
+
+    lo, hi = zipfs[0], zipfs[-1]
+    if points[(hi, "fields")]["imbalance"] <= \
+            points[(lo, "fields")]["imbalance"]:
+        fail("fields imbalance does not grow with skew "
+             f"({points[(lo, 'fields')]['imbalance']} -> "
+             f"{points[(hi, 'fields')]['imbalance']})")
+    return points
+
+
+def validate_acceptance(acc, points) -> None:
+    if not isinstance(acc, dict):
+        fail("acceptance must be an object")
+    require_numbers(acc, ("zipf", "fields_imbalance",
+                          "partial_key_imbalance", "po2c_imbalance"),
+                    "acceptance")
+    z = acc["zipf"]
+    for strategy, field in (("fields", "fields_imbalance"),
+                            ("partial_key", "partial_key_imbalance"),
+                            ("po2c", "po2c_imbalance")):
+        row = points.get((z, strategy))
+        if row is None:
+            fail(f"acceptance zipf {z} has no sweep row for {strategy}")
+        if abs(row["imbalance"] - acc[field]) > 1e-6:
+            fail(f"acceptance {field} {acc[field]} disagrees with sweep "
+                 f"row {row['imbalance']}")
+    if acc["partial_key_imbalance"] >= acc["fields_imbalance"]:
+        fail("PKG does not beat fields grouping at the acceptance point "
+             f"({acc['partial_key_imbalance']} >= {acc['fields_imbalance']})")
+    if acc.get("pkg_improves") is not True:
+        fail("pkg_improves flag is not true")
+
+
+def main() -> None:
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else "results/BENCH_skew.json")
+    if not path.exists():
+        fail(f"{path} does not exist")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if doc.get("bench") != "skew":
+        fail(f"unexpected bench tag: {doc.get('bench')!r}")
+    if "config" not in doc or not isinstance(doc["config"], dict):
+        fail("missing config object")
+    points = validate_sweep(doc.get("sweep"))
+    validate_acceptance(doc.get("acceptance"), points)
+    print(f"OK: {path} — {len(points)} sweep points, PKG beats fields at "
+          f"zipf {doc['acceptance']['zipf']} "
+          f"({doc['acceptance']['partial_key_imbalance']:.3f} vs "
+          f"{doc['acceptance']['fields_imbalance']:.3f})")
+
+
+if __name__ == "__main__":
+    main()
