@@ -11,7 +11,12 @@
 //  2. overhead — the same fault-free run with checkpointing off vs on:
 //     the delivered-throughput cost of barriers + snapshots, plus the
 //     wall-clock simulation cost of having the layer merely compiled in.
-//  3. vs_acker — the crash run recovered by acker-driven at-least-once
+//  3. remote_state — the same crash run at the tightest interval (25ms)
+//     with the remote-state backend layered in step by step: one-sided
+//     full snapshots, then incremental (dirty-page) deltas, then unaligned
+//     barriers. The summary derives the per-epoch snapshot byte cut and
+//     the alignment-stall cut against the aligned/local/full baseline.
+//  4. vs_acker — the crash run recovered by acker-driven at-least-once
 //     replay (state off) against checkpoint-restore exactly-once: replay
 //     volume, duplicate sink applications, and delivery-recovery gap.
 //
@@ -155,6 +160,9 @@ struct Scenario {
   bool checkpoint = false;
   Duration interval = ms(100);
   bool acker = false;
+  bool remote = false;       // one-sided snapshots onto the state host
+  bool incremental = false;  // ship dirty pages instead of full images
+  bool unaligned = false;    // capture in-flight channel state, no stall
 };
 
 RunResult run_scenario(const Scenario& s) {
@@ -167,6 +175,9 @@ RunResult run_scenario(const Scenario& s) {
   cfg.transfer_queue_capacity = 65536;
   cfg.state.enabled = s.checkpoint;
   cfg.state.checkpoint_interval = s.interval;
+  cfg.state.remote = s.remote;
+  cfg.state.incremental = s.incremental;
+  cfg.state.unaligned = s.unaligned;
   if (s.acker) {
     cfg.enable_acking = true;
     cfg.replay_on_failure = true;
@@ -258,6 +269,35 @@ void print_checkpoint_fields(const core::RunReport& r) {
       to_millis(r.align_stall_total), to_millis(r.epoch_duration_avg));
 }
 
+void print_remote_fields(const core::RunReport& r) {
+  std::printf(
+      "\"snapshot_full_bytes\": %llu, \"dirty_cells\": %llu, "
+      "\"clean_cells\": %llu, \"remote_writes\": %llu, "
+      "\"remote_write_bytes\": %llu, \"remote_reads\": %llu, "
+      "\"remote_read_bytes\": %llu, \"mr_regions\": %llu, "
+      "\"mr_region_bytes\": %llu, \"mr_region_grows\": %llu, "
+      "\"channel_tuples_captured\": %llu, \"channel_bytes\": %llu, "
+      "\"channel_replays\": %llu",
+      static_cast<unsigned long long>(r.snapshot_full_bytes),
+      static_cast<unsigned long long>(r.state_dirty_cells),
+      static_cast<unsigned long long>(r.state_clean_cells),
+      static_cast<unsigned long long>(r.remote_writes),
+      static_cast<unsigned long long>(r.remote_write_bytes),
+      static_cast<unsigned long long>(r.remote_reads),
+      static_cast<unsigned long long>(r.remote_read_bytes),
+      static_cast<unsigned long long>(r.mr_regions),
+      static_cast<unsigned long long>(r.mr_region_bytes),
+      static_cast<unsigned long long>(r.mr_region_grows),
+      static_cast<unsigned long long>(r.channel_tuples_captured),
+      static_cast<unsigned long long>(r.channel_bytes),
+      static_cast<unsigned long long>(r.channel_replays));
+}
+
+double per_epoch(uint64_t bytes, uint64_t epochs) {
+  return epochs ? static_cast<double>(bytes) / static_cast<double>(epochs)
+                : 0.0;
+}
+
 }  // namespace
 
 int main() {
@@ -327,7 +367,68 @@ int main() {
     std::printf("},\n  \"goodput_overhead_frac\": %.4f\n},\n", tps_delta);
   }
 
-  // --- 3. checkpoint-restore vs acker-only replay ------------------------
+  // --- 3. remote-state backend: one-sided + incremental + unaligned ------
+  {
+    Scenario base;
+    base.rate = rate;
+    base.warmup = warmup;
+    base.window = window;
+    base.crash_at = crash_at;
+    base.checkpoint = true;
+    base.interval = ms(25);  // tightest interval: snapshot cost dominates
+
+    struct Step {
+      const char* name;
+      bool remote, incremental, unaligned;
+    };
+    const Step steps[] = {
+        {"aligned_full_local", false, false, false},
+        {"remote_full", true, false, false},
+        {"remote_incremental", true, true, false},
+        {"remote_incremental_unaligned", true, true, true},
+    };
+    RunResult results[4];
+    std::printf("\"remote_state\": {\n  \"interval_ms\": 25,\n");
+    for (int i = 0; i < 4; ++i) {
+      Scenario s = base;
+      s.remote = steps[i].remote;
+      s.incremental = steps[i].incremental;
+      s.unaligned = steps[i].unaligned;
+      results[i] = run_scenario(s);
+      std::printf("  \"%s\": {", steps[i].name);
+      print_common(results[i], warmup, crash_at);
+      std::printf(", ");
+      print_checkpoint_fields(results[i].report);
+      if (steps[i].remote || steps[i].unaligned) {
+        std::printf(", ");
+        print_remote_fields(results[i].report);
+      }
+      std::printf("},\n");
+    }
+    const auto& full = results[0].report;
+    const auto& incr = results[2].report;
+    const auto& unal = results[3].report;
+    const double full_per_epoch =
+        per_epoch(full.checkpoint_bytes, full.epochs_completed);
+    const double incr_per_epoch =
+        per_epoch(incr.checkpoint_bytes, incr.epochs_completed);
+    const double stall_full = to_millis(full.align_stall_total);
+    const double stall_unal = to_millis(unal.align_stall_total);
+    std::printf(
+        "  \"summary\": {\"bytes_per_epoch_full\": %.0f, "
+        "\"bytes_per_epoch_incremental\": %.0f, "
+        "\"bytes_reduction_x\": %.2f, "
+        "\"align_stall_full_ms\": %.3f, \"align_stall_unaligned_ms\": %.3f, "
+        "\"align_stall_reduction_x\": %.2f}\n},\n",
+        full_per_epoch, incr_per_epoch,
+        incr_per_epoch > 0 ? full_per_epoch / incr_per_epoch : 0.0,
+        stall_full, stall_unal,
+        // A fully eliminated stall would divide by zero; clamp the
+        // denominator to one microsecond so the ratio stays finite.
+        stall_full / std::max(stall_unal, 0.001));
+  }
+
+  // --- 4. checkpoint-restore vs acker-only replay ------------------------
   {
     Scenario acker;
     acker.rate = rate;

@@ -44,7 +44,17 @@ void loop_async(Body body_in) {
 
 Engine::Engine(EngineConfig cfg, dsps::Topology topo)
     : cfg_(std::move(cfg)), topo_(std::move(topo)), rng_(cfg_.seed) {
-  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.cluster);
+  // The remote state backend lives on a dedicated state-host node appended
+  // past the workers; it exists in the fabric only when the backend is on,
+  // so backend-off runs build the exact same fabric as before.
+  net::ClusterSpec cluster = cfg_.cluster;
+  const bool remote = state::kCompiled && cfg_.state.enabled && cfg_.state.remote;
+  if (remote) cluster.num_nodes += 1;
+  fabric_ = std::make_unique<net::Fabric>(sim_, cluster);
+  if (remote) {
+    remote_state_ = std::make_unique<state::RemoteStateBackend>(
+        *fabric_, cfg_.cost, cfg_.state, /*host_node=*/cfg_.cluster.num_nodes);
+  }
   build_runtime();
   build_mcast_groups();
   // The "source instance" whose CPU/queue/egress the report tracks: the
@@ -125,7 +135,52 @@ void Engine::obs_setup() {
     metrics_.gauge("state.align_stall_ns", [this] {
       return static_cast<double>(checkpoints_.stats().align_stall_total);
     });
+    metrics_.gauge("state.dirty_ratio", [this] {
+      // Shipped snapshot bytes over the full images they represent; 1.0
+      // for full snapshots, < 1.0 once incremental deltas start paying off.
+      const auto& st = checkpoints_.stats();
+      return st.full_bytes_total
+                 ? static_cast<double>(st.snapshot_bytes_total) /
+                       static_cast<double>(st.full_bytes_total)
+                 : 0.0;
+    });
+    metrics_.gauge("state.channel_bytes", [this] {
+      return static_cast<double>(checkpoints_.stats().channel_bytes_total);
+    });
+    if (remote_state_) {
+      metrics_.gauge("state.remote_write_bytes", [this] {
+        return static_cast<double>(remote_state_->stats().write_bytes);
+      });
+      metrics_.gauge("state.remote_read_bytes", [this] {
+        return static_cast<double>(remote_state_->stats().read_bytes);
+      });
+      metrics_.gauge("state.mr_registered_bytes", [this] {
+        return static_cast<double>(remote_state_->stats().region_bytes);
+      });
+    }
   }
+
+  // Verbs-layer fault visibility, summed over every (data + ctrl) QP:
+  // READs cancelled by epoch-bumping resets, and packets sitting in QPs
+  // wedged by a fabric refusal (destination down at transmit time).
+  const auto qp_sum = [this](auto&& per_qp) {
+    double n = 0.0;
+    for (const auto& wp : workers_) {
+      for (const auto& qp : wp->data_qps) {
+        if (qp) n += static_cast<double>(per_qp(*qp));
+      }
+      for (const auto& qp : wp->ctrl_qps) {
+        if (qp) n += static_cast<double>(per_qp(*qp));
+      }
+    }
+    return n;
+  };
+  metrics_.gauge("obs.qp_read_cancellations", [qp_sum] {
+    return qp_sum([](const rdma::QueuePair& q) { return q.reads_cancelled(); });
+  });
+  metrics_.gauge("obs.qp_wedged_packets", [qp_sum] {
+    return qp_sum([](const rdma::QueuePair& q) { return q.wedged_packets(); });
+  });
 
   for (auto& wp : workers_) {
     WorkerRt* w = wp.get();
@@ -622,6 +677,19 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
   if (state_on()) {
     checkpoints_.reset(static_cast<int>(tasks_.size()));
     for (auto& tp : tasks_) tp->epoch0_image = tp->store.snapshot();
+    if (remote_state_on()) {
+      // Register each task's memory region and seed the host image from
+      // epoch 0; the local baselines start at the same image, so the first
+      // incremental delta diffs against exactly what the host holds.
+      for (auto& tp : tasks_) {
+        remote_state_->bind_task(
+            tp->id, tp->node,
+            std::span<const uint8_t>(tp->epoch0_image.data(),
+                                     tp->epoch0_image.size()));
+        tp->store.rebase(std::span<const uint8_t>(tp->epoch0_image.data(),
+                                                  tp->epoch0_image.size()));
+      }
+    }
     loop_async([this](auto next) {
       sim_.schedule_after(cfg_.state.checkpoint_interval, [this, next] {
         checkpoint_tick();
@@ -774,6 +842,22 @@ void Engine::finalize_report(Duration measure) {
             ? st.epoch_duration_total /
                   static_cast<Duration>(st.epochs_completed)
             : 0;
+    report_.snapshot_full_bytes = st.full_bytes_total;
+    report_.state_dirty_cells = st.dirty_cells_total;
+    report_.state_clean_cells = st.clean_cells_total;
+    report_.channel_tuples_captured = st.channel_tuples_captured;
+    report_.channel_bytes = st.channel_bytes_total;
+    report_.channel_replays = st.channel_replayed;
+    if (remote_state_on()) {
+      const auto& rs = remote_state_->stats();
+      report_.remote_writes = rs.writes_posted;
+      report_.remote_write_bytes = rs.write_bytes;
+      report_.remote_reads = rs.reads_posted;
+      report_.remote_read_bytes = rs.read_bytes;
+      report_.mr_regions = rs.regions;
+      report_.mr_region_bytes = rs.region_bytes;
+      report_.mr_region_grows = rs.region_grows;
+    }
   }
 
   report_.fabric_messages_dropped = fabric_->messages_dropped();
@@ -939,14 +1023,27 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
   const auto& op = topo_.ops[static_cast<size_t>(t.op)];
   // Sink-side exactly-once filter: a root whose effects are already inside
   // the committed snapshot (delivered again by a checkpoint replay or a
-  // stale wire copy) is dropped before user logic runs.
+  // stale wire copy) is dropped before user logic runs. Channel-state
+  // re-injections are exempt: their roots may have committed (the epoch
+  // whose capture they rode), but their live effects were NOT in that
+  // epoch's snapshot — recovery must re-apply them.
   if (state_on() && !t.spout && op.out_streams.empty() &&
-      checkpoints_.root_committed(tuple->root_id)) {
+      !d.from_channel_state && checkpoints_.root_committed(tuple->root_id)) {
     ++checkpoints_.stats().duplicates_filtered;
     if (cfg_.enable_acking && ack_edge != 0) acker_.acked(tuple->root_id, ack_edge);
     t.processing = false;
     pump_task(t);
     return;
+  }
+  // Unaligned capture window: between the first and last barrier of an
+  // epoch, traffic on a channel that has not fenced yet is pre-barrier
+  // state. It is recorded into the epoch's channel state and ALSO
+  // processed live below — its effects land outside the snapshot, which
+  // is exactly why recovery re-applies the captured copy.
+  if (state_on() && t.capturing &&
+      t.barriers_from.count(chan_key(tuple->stream, d.src_task)) == 0) {
+    t.captured.push_back(*tuple);
+    t.captured_bytes += tuple->approx_bytes();
   }
   // Per-(stream, destination instance) load accounting: feeds the
   // load-imbalance gauges and the report's stream_routing rows.
@@ -2211,18 +2308,33 @@ void Engine::on_node_restart(int node) {
   // uncommitted emissions. recovery_gen_ lets a newer restart supersede a
   // restore still in flight.
   if (state_on() && cfg_.state.recover_from_checkpoint) {
-    const Duration restore = state::store_transfer_time(
-        checkpoints_.committed_bytes_total(), cfg_.state.store_read_gbps,
-        cfg_.state.store_read_latency);
     const uint64_t gen = ++recovery_gen_;
-    if (trace_on()) {
-      tracer_.complete("state.restore", "fault", node, obs::kLaneControl,
-                       sim_.now(), restore, 0, "bytes",
-                       static_cast<double>(checkpoints_.committed_bytes_total()));
+    if (remote_state_on()) {
+      // One-sided READ of the committed images off the state host; the
+      // restarted node's receive CPU posts it, the host CPU stays idle.
+      if (trace_on()) {
+        tracer_.instant("state.restore.read", "fault", node,
+                        obs::kLaneControl, sim_.now(), 0, "bytes",
+                        static_cast<double>(
+                            remote_state_->committed_bytes_total()));
+      }
+      remote_state_->read_images(w.recv_cpu.get(), node, [this, gen] {
+        if (gen == recovery_gen_) do_recover();
+      });
+    } else {
+      const Duration restore = state::store_transfer_time(
+          checkpoints_.committed_bytes_total(), cfg_.state.store_read_gbps,
+          cfg_.state.store_read_latency);
+      if (trace_on()) {
+        tracer_.complete("state.restore", "fault", node, obs::kLaneControl,
+                         sim_.now(), restore, 0, "bytes",
+                         static_cast<double>(
+                             checkpoints_.committed_bytes_total()));
+      }
+      sim_.schedule_after(restore, [this, gen] {
+        if (gen == recovery_gen_) do_recover();
+      });
     }
-    sim_.schedule_after(restore, [this, gen] {
-      if (gen == recovery_gen_) do_recover();
-    });
   }
   pump_worker(w);
 }
@@ -2453,12 +2565,24 @@ void Engine::abort_epoch() {
       maybe_start_repair(*gp);
     }
   }
+  if (remote_state_on()) {
+    remote_state_->abort(epoch);
+    for (auto& tp : tasks_) tp->store.drop_pending_baseline();
+  }
   for (auto& tp : tasks_) {
     auto& t = *tp;
     if (t.aligning) {
       checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
       t.aligning = false;
       t.barriers_from.clear();
+    }
+    if (t.capturing) {
+      // An unaligned capture never stalled anything; just discard it.
+      t.capturing = false;
+      t.barriers_from.clear();
+      t.pending_snap = SnapBlob{};
+      t.captured.clear();
+      t.captured_bytes = 0;
     }
     pump_task(t);
   }
@@ -2491,6 +2615,13 @@ void Engine::handle_barrier(TaskRt& t, Delivery d) {
     complete_alignment(t, epoch);
     return;
   }
+  // Unaligned mode only changes behavior where alignment would stall:
+  // multi-channel tasks. Single-channel tasks complete on their first
+  // barrier in either mode.
+  if (unaligned_on() && t.expected_barriers > 1) {
+    handle_barrier_unaligned(t, std::move(d), epoch);
+    return;
+  }
   if (!t.aligning) {
     t.aligning = true;
     t.align_start = sim_.now();
@@ -2505,6 +2636,44 @@ void Engine::handle_barrier(TaskRt& t, Delivery d) {
   pump_task(t);  // other channels keep flowing while we align
 }
 
+Engine::SnapBlob Engine::take_snapshot(TaskRt& t) {
+  SnapBlob s;
+  if (remote_state_on()) {
+    state::StateStore::DeltaStats ds;
+    s.blob = t.store.snapshot_delta(cfg_.state.delta_page_bytes,
+                                    /*force_full=*/!cfg_.state.incremental, &ds);
+    s.shipped = ds.shipped_bytes;
+    s.full = ds.full_bytes;
+    s.dirty = ds.dirty_cells;
+    s.clean = ds.clean_cells;
+  } else {
+    s.blob = t.store.snapshot();
+    s.shipped = s.full = s.blob.size();
+  }
+  return s;
+}
+
+void Engine::schedule_snapshot_write(TaskRt& t, uint64_t epoch, SnapBlob snap,
+                                     uint64_t channel_bytes) {
+  const int task = t.id;
+  if (remote_state_on()) {
+    // One-sided WRITE into the task's registered region on the state host:
+    // the initiator pays the post, the host CPU is never scheduled.
+    remote_state_->write_snapshot(
+        task, epoch, t.cpu.get(), std::move(snap.blob), channel_bytes,
+        [this, task, epoch] {
+          if (checkpoints_.write_complete(task, epoch)) commit_epoch();
+        });
+    return;
+  }
+  const Duration wr = state::store_transfer_time(
+      snap.shipped + channel_bytes, cfg_.state.store_write_gbps,
+      cfg_.state.store_write_latency);
+  sim_.schedule_after(wr, [this, task, epoch] {
+    if (checkpoints_.write_complete(task, epoch)) commit_epoch();
+  });
+}
+
 void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
   if (t.aligning) {
     checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
@@ -2512,9 +2681,16 @@ void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
     t.barriers_from.clear();
   }
   t.epoch = epoch;
-  std::vector<uint8_t> blob = t.store.snapshot();
-  const uint64_t blob_bytes = blob.size();
-  if (!checkpoints_.stage_snapshot(t.id, epoch, std::move(blob))) {
+  SnapBlob snap = take_snapshot(t);
+  // The remote path keeps the blob (it still has to ship); the local path
+  // hands it to the coordinator and only the byte counts survive.
+  const bool staged =
+      remote_state_on()
+          ? checkpoints_.stage_external(t.id, epoch, snap.shipped, snap.full,
+                                        snap.dirty, snap.clean)
+          : checkpoints_.stage_snapshot(t.id, epoch, std::move(snap.blob));
+  if (!staged) {
+    if (remote_state_on()) t.store.drop_pending_baseline();
     t.processing = false;  // epoch died while we were aligning
     pump_task(t);
     return;
@@ -2523,23 +2699,89 @@ void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
   if (!t.spout && op.out_streams.empty()) checkpoints_.sink_seal(t.id);
   // Serialization is the only synchronous cost the executor pays; the
   // barrier is forwarded BEFORE the stash drains (downstream FIFO order),
-  // and the persistent-store write proceeds off the critical path.
-  const Duration ser = cfg_.cost.ser_time(blob_bytes);
+  // and the persistent-store write proceeds off the critical path. The
+  // serializer walks every cell even when only a delta ships, so the CPU
+  // charge follows the FULL image size.
+  const Duration ser = cfg_.cost.ser_time(snap.full);
   TaskRt* traw = &t;
   t.cpu->execute(
-      ser, sim::CpuCategory::kSerialization, [this, traw, epoch, blob_bytes] {
-        forward_barrier(*traw, epoch, [this, traw, epoch, blob_bytes] {
-          const Duration wr = state::store_transfer_time(
-              blob_bytes, cfg_.state.store_write_gbps,
-              cfg_.state.store_write_latency);
-          const int task = traw->id;
-          sim_.schedule_after(wr, [this, task, epoch] {
-            if (checkpoints_.write_complete(task, epoch)) commit_epoch();
-          });
+      ser, sim::CpuCategory::kSerialization,
+      [this, traw, epoch, snap = std::move(snap)]() mutable {
+        forward_barrier(*traw, epoch, [this, traw, epoch, snap]() mutable {
+          schedule_snapshot_write(*traw, epoch, std::move(snap),
+                                  /*channel_bytes=*/0);
           traw->processing = false;
           pump_task(*traw);
         });
       });
+}
+
+void Engine::handle_barrier_unaligned(TaskRt& t, Delivery d, uint64_t epoch) {
+  const dsps::Tuple& b = *d.tuple;
+  const uint64_t chan = chan_key(b.stream, state::barrier_src_task(b));
+  if (!t.capturing) {
+    // FIRST barrier: snapshot NOW and forward the barrier immediately —
+    // the task never stalls waiting for its other channels. Anything that
+    // arrives on a not-yet-fenced channel until the last barrier lands is
+    // pre-barrier traffic: it is captured as channel state (and processed
+    // live, its effects landing outside the snapshot).
+    // NOTE: t.epoch moves only at finalize_capture — the staleness guard
+    // in handle_barrier (`epoch <= t.epoch`) must keep admitting this
+    // epoch's remaining barriers while the capture window is open.
+    t.capturing = true;
+    t.barriers_from.clear();
+    t.barriers_from.insert(chan);
+    t.captured.clear();
+    t.captured_bytes = 0;
+    t.pending_snap = take_snapshot(t);
+    const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+    if (op.out_streams.empty()) checkpoints_.sink_seal(t.id);
+    const Duration ser = cfg_.cost.ser_time(t.pending_snap.full);
+    TaskRt* traw = &t;
+    t.cpu->execute(ser, sim::CpuCategory::kSerialization, [this, traw, epoch] {
+      forward_barrier(*traw, epoch, [this, traw] {
+        traw->processing = false;
+        pump_task(*traw);
+      });
+    });
+    return;
+  }
+  t.barriers_from.insert(chan);
+  if (static_cast<int>(t.barriers_from.size()) >= t.expected_barriers) {
+    finalize_capture(t, epoch);
+    return;
+  }
+  t.processing = false;
+  pump_task(t);
+}
+
+void Engine::finalize_capture(TaskRt& t, uint64_t epoch) {
+  t.capturing = false;
+  t.barriers_from.clear();
+  t.epoch = epoch;
+  SnapBlob snap = std::move(t.pending_snap);
+  t.pending_snap = SnapBlob{};
+  std::vector<dsps::Tuple> captured = std::move(t.captured);
+  const uint64_t channel_bytes = t.captured_bytes;
+  t.captured.clear();
+  t.captured_bytes = 0;
+  const bool staged =
+      remote_state_on()
+          ? checkpoints_.stage_external(t.id, epoch, snap.shipped, snap.full,
+                                        snap.dirty, snap.clean)
+          : checkpoints_.stage_snapshot(t.id, epoch, std::move(snap.blob));
+  if (!staged) {
+    // Epoch died between the first and last barrier.
+    if (remote_state_on()) t.store.drop_pending_baseline();
+    t.processing = false;
+    pump_task(t);
+    return;
+  }
+  checkpoints_.stage_channel_state(t.id, epoch, std::move(captured),
+                                   channel_bytes);
+  schedule_snapshot_write(t, epoch, std::move(snap), channel_bytes);
+  t.processing = false;
+  pump_task(t);
 }
 
 void Engine::forward_barrier(TaskRt& t, uint64_t epoch,
@@ -2586,6 +2828,13 @@ void Engine::forward_barrier(TaskRt& t, uint64_t epoch,
 
 void Engine::commit_epoch() {
   const uint64_t epoch = checkpoints_.current_epoch();
+  if (remote_state_on()) {
+    // Merge the staged deltas into the host images, then promote the
+    // local baselines to match — the next delta diffs against exactly
+    // what the host now holds.
+    remote_state_->commit(epoch);
+    for (auto& tp : tasks_) tp->store.commit_baseline();
+  }
   checkpoints_.commit(sim_.now());
   const auto& st = checkpoints_.stats();
   if (c_epochs_) {
@@ -2622,6 +2871,10 @@ void Engine::do_recover() {
     auto& t = *tp;
     t.aligning = false;
     t.barriers_from.clear();
+    t.capturing = false;
+    t.pending_snap = SnapBlob{};
+    t.captured.clear();
+    t.captured_bytes = 0;
     // Roll back: everything queued past the committed epoch is superseded
     // by the log replay below (counted lost like any discarded instance).
     for (const auto& d : t.align_buf) {
@@ -2644,26 +2897,51 @@ void Engine::do_recover() {
     // ROUTING cells are the exception: shuffle cursors (and friends) must
     // rewind to the committed epoch, or the replayed emissions take
     // different routes than their originals did.
+    // Committed image source: the host-resident image (one-sided READ
+    // already paid by on_node_restart) or the coordinator's local copy.
+    const auto& img = remote_state_on() ? remote_state_->committed_image(t.id)
+                                        : checkpoints_.committed_image(t.id);
     if (t.spout) {
       if (t.store.has_cell_matching(dsps::is_routing_cell)) {
-        const auto& img = checkpoints_.committed_image(t.id);
         t.store.restore_if(img.empty() ? t.epoch0_image : img,
                            dsps::is_routing_cell);
       }
-      continue;
-    }
-    const auto& img = checkpoints_.committed_image(t.id);
-    if (!img.empty()) {
+    } else if (!img.empty()) {
       t.store.restore(img);
     } else if (t.store.cell_count() > 0) {
       // Nothing committed yet: back to the operator's initial state.
       t.store.restore(t.epoch0_image);
+    }
+    // Rebase the delta baselines onto the image the host holds: the next
+    // incremental snapshot diffs against the post-recovery committed
+    // state, not against pre-crash garbage.
+    if (remote_state_on()) {
+      const auto& base = img.empty() ? t.epoch0_image : img;
+      t.store.rebase(std::span<const uint8_t>(base.data(), base.size()));
     }
   }
   if (trace_on()) {
     tracer_.instant("state.recovered", "state",
                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
                     obs::kLaneControl, sim_.now(), committed);
+  }
+  // Re-apply the committed epoch's in-flight channel state (unaligned
+  // barriers): these tuples were processed live AFTER the snapshot was
+  // taken, so the restored image does not contain their effects. They are
+  // re-injected ahead of the spout replay (they are older than anything
+  // the log re-emits) and flagged to bypass the sink dup filter.
+  for (auto& tp : tasks_) {
+    for (const auto& tup : checkpoints_.committed_channel(tp->id)) {
+      Delivery d{std::make_shared<const dsps::Tuple>(tup), 0};
+      d.gen = recovery_gen_;
+      d.from_channel_state = true;
+      if (tp->in_queue->try_push(std::move(d))) {
+        ++checkpoints_.stats().channel_replayed;
+      } else {
+        ++tuples_lost_;
+        if (c_lost_) c_lost_->inc();
+      }
+    }
   }
   // Rewind every spout to the committed epoch's source offsets.
   for (auto& tp : tasks_) {

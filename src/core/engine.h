@@ -39,6 +39,7 @@
 #include "sim/queue.h"
 #include "sim/simulation.h"
 #include "state/checkpoint.h"
+#include "state/remote_store.h"
 #include "state/state_store.h"
 
 namespace whale::core {
@@ -132,6 +133,20 @@ class Engine {
     int32_t src_task = -1;  // producing task (-1 = spout arrival/injection)
     bool replayed = false;  // checkpoint-recovery re-emission (skip the log)
     uint64_t gen = 0;       // dataflow incarnation (see OutMsg::gen)
+    // Re-injected in-flight channel state (unaligned barriers). Its root
+    // may sit in the committed-roots filter — the original live pass was
+    // filtered-exempt too, so this bypasses the sink dup filter.
+    bool from_channel_state = false;
+  };
+
+  // A snapshot staged for one epoch: the blob to ship (full image, or a
+  // page delta when the remote backend runs incrementally) plus the byte
+  // accounting the coordinator records.
+  struct SnapBlob {
+    std::vector<uint8_t> blob;
+    uint64_t shipped = 0;  // bytes that go to the store / over the wire
+    uint64_t full = 0;     // bytes a full snapshot would have been
+    uint32_t dirty = 0, clean = 0;  // cell-level delta census
   };
 
   struct TaskRt {
@@ -158,6 +173,15 @@ class Engine {
     Time align_start = 0;
     std::unordered_set<uint64_t> barriers_from;  // channels already fenced
     std::deque<Delivery> align_buf;  // post-barrier deliveries, stashed
+    // Unaligned barriers (cfg.state.unaligned): the snapshot is taken at
+    // the FIRST barrier and the barrier forwarded immediately — no stall.
+    // Until every channel fences, tuples on not-yet-fenced channels are
+    // recorded as channel state AND processed live; recovery re-applies
+    // them after restoring the snapshot.
+    bool capturing = false;
+    SnapBlob pending_snap;
+    std::vector<dsps::Tuple> captured;
+    uint64_t captured_bytes = 0;
     // Pristine snapshot taken at run start; recovery target while no
     // epoch has committed yet.
     std::vector<uint8_t> epoch0_image;
@@ -318,6 +342,10 @@ class Engine {
 
   // --- checkpointing (src/state) --------------------------------------------
   bool state_on() const { return state::kCompiled && cfg_.state.enabled; }
+  // Remote backend exists iff state is on AND cfg_.state.remote (the ctor
+  // sized the fabric with the extra state-host node in that case).
+  bool remote_state_on() const { return state_on() && remote_state_ != nullptr; }
+  bool unaligned_on() const { return state_on() && cfg_.state.unaligned; }
   static uint64_t chan_key(uint32_t stream, int src_task) {
     return (static_cast<uint64_t>(stream) << 32) |
            static_cast<uint32_t>(src_task);
@@ -329,7 +357,19 @@ class Engine {
   void schedule_epoch_abort(uint64_t epoch);
   void abort_epoch();
   void handle_barrier(TaskRt& t, Delivery d);
+  void handle_barrier_unaligned(TaskRt& t, Delivery d, uint64_t epoch);
   void complete_alignment(TaskRt& t, uint64_t epoch);
+  // Takes t's snapshot: full image (local store) or page delta against the
+  // host-resident baseline (remote backend).
+  SnapBlob take_snapshot(TaskRt& t);
+  // Last barrier of an unaligned epoch: stage the first-barrier snapshot
+  // plus the captured channel tuples, then ship the write.
+  void finalize_capture(TaskRt& t, uint64_t epoch);
+  // Ships a staged snapshot to the persistent store (local path) or the
+  // state host (one-sided WRITE); drives write_complete -> commit_epoch.
+  // `channel_bytes` rides the same write (in-flight channel state).
+  void schedule_snapshot_write(TaskRt& t, uint64_t epoch, SnapBlob snap,
+                               uint64_t channel_bytes);
   // Emits `epoch`'s barrier on every out-stream of t (its own frames, never
   // batched with data); `done` fires once every copy is queued.
   void forward_barrier(TaskRt& t, uint64_t epoch, std::function<void()> done);
@@ -402,6 +442,9 @@ class Engine {
   // Checkpointing runtime. recovery_gen_ invalidates in-flight restore /
   // replay continuations when a newer recovery supersedes them.
   state::CheckpointCoordinator checkpoints_;
+  // RDMA-resident state backend (cfg_.state.remote): snapshot WRITEs and
+  // recovery READs against the state-host node appended to the fabric.
+  std::unique_ptr<state::RemoteStateBackend> remote_state_;
   uint64_t recovery_gen_ = 0;
   Time epoch_inject_time_ = 0;
 

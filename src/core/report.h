@@ -106,6 +106,21 @@ struct RunReport {
   Duration align_stall_total = 0;      // summed barrier-alignment stall
   Duration epoch_duration_avg = 0;     // inject -> commit
 
+  // --- remote state / incremental snapshots / unaligned barriers (§12) -----
+  uint64_t snapshot_full_bytes = 0;   // full-image bytes the epochs spanned
+  uint64_t state_dirty_cells = 0;     // cells shipped across all deltas
+  uint64_t state_clean_cells = 0;     // cells skipped as unchanged
+  uint64_t remote_writes = 0;         // one-sided snapshot WRITEs posted
+  uint64_t remote_write_bytes = 0;
+  uint64_t remote_reads = 0;          // one-sided recovery READs posted
+  uint64_t remote_read_bytes = 0;
+  uint64_t mr_regions = 0;            // registered memory regions
+  uint64_t mr_region_bytes = 0;       // pinned capacity on the state host
+  uint64_t mr_region_grows = 0;       // re-registrations after image growth
+  uint64_t channel_tuples_captured = 0;  // in-flight tuples checkpointed
+  uint64_t channel_bytes = 0;            // their byte volume
+  uint64_t channel_replays = 0;          // re-injected during recovery
+
   // --- per-stream routing (DESIGN.md §11) ----------------------------------
   // One row per stream: which PartitioningStrategy routed it and how the
   // window's deliveries spread over the destination instances. Lets bench
@@ -200,6 +215,26 @@ struct RunReport {
       u("ckpt_recoveries", checkpoint_recoveries);
       u("ckpt_replays", checkpoint_replays);
       u("align_stall_ns", static_cast<uint64_t>(align_stall_total));
+    }
+    // Remote-backend / unaligned-barrier fields: same contract, one level
+    // further in. Aligned local-store runs (and of course state-off runs)
+    // keep every one of these at zero, so their fingerprints are
+    // bit-identical to the pre-backend baseline.
+    if (remote_writes || remote_reads || mr_regions ||
+        channel_tuples_captured || channel_replays) {
+      u("snap_full_bytes", snapshot_full_bytes);
+      u("dirty_cells", state_dirty_cells);
+      u("clean_cells", state_clean_cells);
+      u("rwrites", remote_writes);
+      u("rwrite_bytes", remote_write_bytes);
+      u("rreads", remote_reads);
+      u("rread_bytes", remote_read_bytes);
+      u("mr_regions", mr_regions);
+      u("mr_bytes", mr_region_bytes);
+      u("mr_grows", mr_region_grows);
+      u("chan_captured", channel_tuples_captured);
+      u("chan_bytes", channel_bytes);
+      u("chan_replays", channel_replays);
     }
     return s;
   }

@@ -1,0 +1,92 @@
+#include "rdma/mr.h"
+
+#include <utility>
+
+namespace whale::rdma {
+
+uint32_t MemoryRegionTable::register_region(uint64_t capacity) {
+  MemoryRegion mr;
+  mr.rkey = static_cast<uint32_t>(regions_.size() + 1);
+  mr.capacity = capacity;
+  regions_.push_back(mr);
+  registered_bytes_ += capacity;
+  return mr.rkey;
+}
+
+bool MemoryRegionTable::ensure_capacity(uint32_t rkey, uint64_t bytes) {
+  MemoryRegion& mr = regions_[rkey - 1];
+  if (bytes <= mr.capacity) return false;
+  uint64_t cap = mr.capacity ? mr.capacity : 1;
+  while (cap < bytes) cap *= 2;
+  registered_bytes_ += cap - mr.capacity;
+  mr.capacity = cap;
+  ++reregistrations_;
+  return true;
+}
+
+void MemoryRegionTable::note_write(uint32_t rkey, uint64_t bytes) {
+  MemoryRegion& mr = regions_[rkey - 1];
+  if (bytes > mr.high_water) mr.high_water = bytes;
+}
+
+void OneSidedPlane::write(sim::CpuServer* initiator, int initiator_node,
+                          uint64_t bytes, Duration extra_post_latency,
+                          std::function<void()> on_complete,
+                          std::function<void()> on_drop) {
+  ++stats_.writes_posted;
+  initiator->execute(
+      cost_.rdma_post + extra_post_latency, sim::CpuCategory::kRdmaPost,
+      [this, initiator_node, bytes, on_complete = std::move(on_complete),
+       on_drop = std::move(on_drop)]() mutable {
+        const bool sent = fabric_.transmit(
+            net::Transport::kRdma, initiator_node, host_node_, bytes,
+            [this, bytes, on_complete = std::move(on_complete)] {
+              // Initiator-side CQ semantics: the RNIC acked the landed
+              // payload. No host CPU is scheduled anywhere on this path.
+              stats_.write_bytes += bytes;
+              if (on_complete) on_complete();
+            },
+            cost_.rnic_per_wr);
+        if (!sent) {
+          ++stats_.drops;
+          if (on_drop) on_drop();
+        }
+      });
+}
+
+void OneSidedPlane::read(sim::CpuServer* initiator, int initiator_node,
+                         uint64_t bytes, std::function<void()> on_data,
+                         std::function<void()> on_drop) {
+  ++stats_.reads_posted;
+  initiator->execute(
+      cost_.rdma_post, sim::CpuCategory::kRdmaPost,
+      [this, initiator_node, bytes, on_data = std::move(on_data),
+       on_drop = std::move(on_drop)]() mutable {
+        // Request descriptor to the host RNIC...
+        const bool sent = fabric_.transmit(
+            net::Transport::kRdma, initiator_node, host_node_,
+            /*payload_bytes=*/16,
+            [this, initiator_node, bytes, on_data = std::move(on_data),
+             on_drop = std::move(on_drop)]() mutable {
+              // ...which DMAs the region back without host CPU.
+              const bool data_sent = fabric_.transmit(
+                  net::Transport::kRdma, host_node_, initiator_node, bytes,
+                  [this, bytes, on_data = std::move(on_data)] {
+                    stats_.read_bytes += bytes;
+                    if (on_data) on_data();
+                  },
+                  cost_.rnic_per_wr);
+              if (!data_sent) {
+                ++stats_.drops;
+                if (on_drop) on_drop();
+              }
+            },
+            cost_.rnic_per_wr);
+        if (!sent) {
+          ++stats_.drops;
+          if (on_drop) on_drop();
+        }
+      });
+}
+
+}  // namespace whale::rdma

@@ -79,13 +79,19 @@ void QueuePair::maybe_fetch() {
   // The consumer's comm thread posts the READ work request...
   remote_.cpu->execute(cost_.rdma_post, sim::CpuCategory::kRdmaPost,
                        [this, epoch] {
-    if (epoch != epoch_) return;
+    if (epoch != epoch_) {
+      ++reads_cancelled_;
+      return;
+    }
     // ...the request descriptor crosses the wire to the producer's RNIC...
-    fabric_.transmit(
+    const bool req_sent = fabric_.transmit(
         net::Transport::kRdma, remote_.node, local_.node,
         config_.read_request_bytes,
         [this, epoch] {
-          if (epoch != epoch_) return;
+          if (epoch != epoch_) {
+            ++reads_cancelled_;
+            return;
+          }
           // ...which DMAs whole posted units back without any producer CPU
           // involvement. Units are contiguous in the ring, so consecutive
           // ones coalesce into a single READ up to read_batch_max.
@@ -105,7 +111,10 @@ void QueuePair::maybe_fetch() {
               net::Transport::kRdma, local_.node, remote_.node, batch_bytes,
               [this, epoch, wr_id, batch_bytes,
                batch = std::move(batch)]() mutable {
-                if (epoch != epoch_) return;
+                if (epoch != epoch_) {
+                  ++reads_cancelled_;
+                  return;
+                }
                 send_cq_.push(Completion{Verb::kRead, wr_id,
                                          fabric_.simulation().now(),
                                          batch_bytes});
@@ -120,9 +129,15 @@ void QueuePair::maybe_fetch() {
           // Dropped READ data: the batch's packets were already moved out of
           // the ring bookkeeping, so they are gone for good (and, like any
           // fault mid-READ, the channel stays wedged until reset()).
-          if (!sent) fabric_drops_ += n_pkts;
+          if (!sent) {
+            fabric_drops_ += n_pkts;
+            wedged_ = true;
+          }
         },
         cost_.rnic_per_wr);
+    // A dropped request descriptor wedges the channel the same way: the
+    // fetch loop is waiting for a completion that can never arrive.
+    if (!req_sent) wedged_ = true;
   });
 }
 
@@ -138,6 +153,7 @@ void QueuePair::reset() {
   for (const auto& b : pending_) packets_lost_ += b.size();
   pending_.clear();
   read_outstanding_ = false;
+  wedged_ = false;
   if (config_.verb == Verb::kRead) {
     ring_ = std::make_unique<RingMemoryRegion>(config_.ring_capacity);
     // Producers blocked on ring-full can retry against the fresh ring.

@@ -175,6 +175,17 @@ class QueuePair {
   // packets wedged behind a READ request descriptor the fabric dropped
   // (the channel stays blocked until reset() re-arms it).
   size_t packets_pending() const;
+  // Fetch-chain stages cancelled by the epoch fence: a reset() raced an
+  // in-flight READ and the late completion discarded itself instead of
+  // touching the re-created ring.
+  uint64_t reads_cancelled() const { return reads_cancelled_; }
+  // True while the channel is wedged: a fabric drop ate the READ request
+  // descriptor or the READ data mid-flight, so the fetch loop can never
+  // resume until reset() re-arms it.
+  bool wedged() const { return wedged_; }
+  // Producer-side packets stuck behind a wedged fetch loop (0 when the
+  // channel is healthy — pending packets on a live channel will drain).
+  size_t wedged_packets() const { return wedged_ ? packets_pending() : 0; }
 
  private:
   void deliver(Packet p);
@@ -209,6 +220,8 @@ class QueuePair {
   uint64_t packets_lost_ = 0;
   uint64_t resets_ = 0;
   uint64_t fabric_drops_ = 0;
+  uint64_t reads_cancelled_ = 0;
+  bool wedged_ = false;
   uint64_t next_wr_id_ = 1;
 };
 

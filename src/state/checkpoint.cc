@@ -38,6 +38,9 @@ uint64_t CheckpointCoordinator::begin_epoch(Time now) {
   ++epoch_;
   epoch_start_ = now;
   staged_.clear();
+  staged_external_.clear();
+  staged_channel_.clear();
+  staged_channel_bytes_.clear();
   writes_done_.clear();
   return epoch_;
 }
@@ -46,6 +49,9 @@ void CheckpointCoordinator::abort_epoch() {
   if (!in_flight_) return;
   in_flight_ = false;
   staged_.clear();
+  staged_external_.clear();
+  staged_channel_.clear();
+  staged_channel_bytes_.clear();
   writes_done_.clear();
   ++stats_.epochs_aborted;
   // sealed_roots_ are intentionally kept: those sink completions were
@@ -58,6 +64,32 @@ bool CheckpointCoordinator::stage_snapshot(int task, uint64_t epoch,
   if (!in_flight_ || epoch != epoch_) return false;
   staged_[task] = std::move(blob);
   return true;
+}
+
+bool CheckpointCoordinator::stage_external(int task, uint64_t epoch,
+                                           uint64_t shipped, uint64_t full,
+                                           uint32_t dirty_cells,
+                                           uint32_t clean_cells) {
+  if (!in_flight_ || epoch != epoch_) return false;
+  staged_external_[task] =
+      ExternalStage{shipped, full, dirty_cells, clean_cells};
+  return true;
+}
+
+bool CheckpointCoordinator::stage_channel_state(int task, uint64_t epoch,
+                                                std::vector<dsps::Tuple> tuples,
+                                                uint64_t bytes) {
+  if (!in_flight_ || epoch != epoch_) return false;
+  staged_channel_[task] = std::move(tuples);
+  staged_channel_bytes_[task] = bytes;
+  return true;
+}
+
+const std::vector<dsps::Tuple>& CheckpointCoordinator::committed_channel(
+    int task) const {
+  static const std::vector<dsps::Tuple> kNone;
+  auto it = committed_channel_.find(task);
+  return it == committed_channel_.end() ? kNone : it->second;
 }
 
 bool CheckpointCoordinator::write_complete(int task, uint64_t epoch) {
@@ -77,9 +109,30 @@ void CheckpointCoordinator::commit(Time now) {
   last_committed_ = epoch_;
   for (auto& [task, blob] : staged_) {
     stats_.snapshot_bytes_total += blob.size();
+    stats_.full_bytes_total += blob.size();  // local writes are always full
     committed_[task] = std::move(blob);
   }
   staged_.clear();
+  for (const auto& [task, ext] : staged_external_) {
+    stats_.snapshot_bytes_total += ext.shipped;
+    stats_.full_bytes_total += ext.full;
+    stats_.dirty_cells_total += ext.dirty;
+    stats_.clean_cells_total += ext.clean;
+  }
+  staged_external_.clear();
+  // Channel state is per-epoch: the committing epoch's captures REPLACE
+  // the previous epoch's wholesale (a task that captured nothing this
+  // epoch has empty committed channel state, not last epoch's leftovers).
+  committed_channel_.swap(staged_channel_);
+  staged_channel_.clear();
+  for (const auto& [task, tuples] : committed_channel_) {
+    stats_.channel_tuples_captured += tuples.size();
+  }
+  for (const auto& [task, bytes] : staged_channel_bytes_) {
+    stats_.snapshot_bytes_total += bytes;
+    stats_.channel_bytes_total += bytes;
+  }
+  staged_channel_bytes_.clear();
   writes_done_.clear();
   // The sealed list holds one entry per sink *delivery*; an all-grouped
   // fan-in legitimately seals the same root several times in one epoch
@@ -148,6 +201,9 @@ void CheckpointCoordinator::rewind_to_committed() {
   // the crash itself caused; recovery is not a second stall).
   in_flight_ = false;
   staged_.clear();
+  staged_external_.clear();
+  staged_channel_.clear();
+  staged_channel_bytes_.clear();
   writes_done_.clear();
   sink_pending_.clear();
   sealed_roots_.clear();

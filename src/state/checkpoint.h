@@ -18,8 +18,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -51,6 +52,16 @@ class CheckpointCoordinator {
     Duration last_epoch_duration = 0;    // inject -> commit
     Duration epoch_duration_total = 0;
     Duration align_stall_total = 0;      // summed over tasks (engine-fed)
+    // Remote/incremental accounting (DESIGN.md §12). full_bytes_total is
+    // what full snapshots of the committed epochs WOULD have cost; with
+    // snapshot_bytes_total (what actually shipped) it yields the dirty
+    // ratio. Channel counters cover unaligned-barrier in-flight capture.
+    uint64_t full_bytes_total = 0;
+    uint64_t dirty_cells_total = 0;
+    uint64_t clean_cells_total = 0;
+    uint64_t channel_tuples_captured = 0;  // committed with their epoch
+    uint64_t channel_bytes_total = 0;
+    uint64_t channel_replayed = 0;         // re-injected at recovery
   };
 
   void reset(int num_tasks);
@@ -69,6 +80,21 @@ class CheckpointCoordinator {
   // Stages `task`'s serialized state for the in-flight epoch. Returns
   // false if the epoch is stale (already aborted or superseded).
   bool stage_snapshot(int task, uint64_t epoch, std::vector<uint8_t> blob);
+  // Remote-backend variant: the blob lives on the state host (the
+  // RemoteStateBackend owns the images); the coordinator only tracks the
+  // staging and the byte accounting (`shipped` = wire bytes of the delta,
+  // `full` = what a full snapshot would have cost, plus the cell dirty
+  // census). Same staleness contract as stage_snapshot.
+  bool stage_external(int task, uint64_t epoch, uint64_t shipped,
+                      uint64_t full, uint32_t dirty_cells,
+                      uint32_t clean_cells);
+  // Unaligned barriers: stages the in-flight tuples captured between the
+  // epoch's first barrier and each channel's own barrier. Committed with
+  // the epoch (REPLACING the previous epoch's channel state) and
+  // re-injected at recovery. `bytes` is the modeled wire size.
+  bool stage_channel_state(int task, uint64_t epoch,
+                           std::vector<dsps::Tuple> tuples, uint64_t bytes);
+  const std::vector<dsps::Tuple>& committed_channel(int task) const;
   // Marks the async persistent-store write for `task` done. Returns true
   // when every task's write has landed (caller then calls commit()).
   bool write_complete(int task, uint64_t epoch);
@@ -111,11 +137,27 @@ class CheckpointCoordinator {
   uint64_t last_committed_ = 0;  // 0 = nothing committed yet
   Time epoch_start_ = 0;
 
-  std::unordered_map<int, std::vector<uint8_t>> staged_;
+  // Ordered maps on purpose: commit() and committed_bytes_total() iterate
+  // these, and byte/fingerprint accounting must accumulate in sorted task
+  // order — unordered_map iteration order varies across libc++ versions
+  // and platforms, which made snapshot byte order nondeterministic.
+  std::map<int, std::vector<uint8_t>> staged_;
   std::unordered_set<int> writes_done_;
-  std::unordered_map<int, std::vector<uint8_t>> committed_;
+  std::map<int, std::vector<uint8_t>> committed_;
+  // Remote staging: task -> {shipped, full, dirty, clean} for the epoch.
+  struct ExternalStage {
+    uint64_t shipped = 0;
+    uint64_t full = 0;
+    uint32_t dirty = 0;
+    uint32_t clean = 0;
+  };
+  std::map<int, ExternalStage> staged_external_;
+  // Unaligned channel state: per-epoch, replaced wholesale at commit.
+  std::map<int, std::vector<dsps::Tuple>> staged_channel_;
+  std::map<int, uint64_t> staged_channel_bytes_;
+  std::map<int, std::vector<dsps::Tuple>> committed_channel_;
 
-  std::unordered_map<int, std::vector<uint64_t>> sink_pending_;
+  std::map<int, std::vector<uint64_t>> sink_pending_;
   std::vector<uint64_t> sealed_roots_;
   std::unordered_set<uint64_t> committed_roots_;
 
@@ -123,7 +165,7 @@ class CheckpointCoordinator {
     uint64_t epoch;
     dsps::Tuple tuple;
   };
-  std::unordered_map<int, std::deque<LogEntry>> logs_;
+  std::map<int, std::deque<LogEntry>> logs_;
 
   Stats stats_;
 };

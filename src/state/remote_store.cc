@@ -1,0 +1,158 @@
+#include "state/remote_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace whale::state {
+
+RemoteStateBackend::RemoteStateBackend(net::Fabric& fabric,
+                                       const net::CostModel& cost,
+                                       const StateConfig& cfg, int host_node)
+    : fabric_(fabric), cfg_(cfg), host_node_(host_node),
+      plane_(fabric, cost, host_node) {}
+
+std::map<std::string, std::vector<uint8_t>> RemoteStateBackend::parse_snapshot(
+    std::span<const uint8_t> blob) {
+  std::map<std::string, std::vector<uint8_t>> cells;
+  if (blob.empty()) return cells;
+  ByteReader r(blob);
+  const size_t n = r.get_varint();
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = r.get_string();
+    cells[std::move(name)] = r.get_bytes();
+  }
+  return cells;
+}
+
+void RemoteStateBackend::bind_task(int task, int node,
+                                   std::span<const uint8_t> epoch0_image) {
+  TaskImage img;
+  img.node = node;
+  img.cells = parse_snapshot(epoch0_image);
+  const uint64_t want =
+      std::max<uint64_t>(epoch0_image.size(), cfg_.mr_min_capacity);
+  img.rkey = mrs_.register_region(want);
+  images_[task] = std::move(img);
+  stats_.regions = mrs_.count();
+  stats_.region_bytes = mrs_.registered_bytes();
+}
+
+void RemoteStateBackend::write_snapshot(int task, uint64_t epoch,
+                                        sim::CpuServer* initiator,
+                                        std::vector<uint8_t> delta,
+                                        uint64_t extra_bytes,
+                                        std::function<void()> on_written) {
+  auto it = images_.find(task);
+  assert(it != images_.end() && "write_snapshot before bind_task");
+  TaskImage& img = it->second;
+  // Stage at post time (simulation-side bookkeeping); the committed image
+  // only moves at commit(), so a recovery racing this write still READs
+  // the previous epoch.
+  img.staged = true;
+  img.staged_epoch = epoch;
+  img.staged_delta = std::move(delta);
+  const uint64_t bytes = img.staged_delta.size() + extra_bytes;
+  // A grown image re-registers its region; the pin + rkey exchange is
+  // charged as extra latency on this write's post.
+  Duration extra = 0;
+  if (mrs_.ensure_capacity(img.rkey, bytes)) {
+    extra = cfg_.mr_register_latency;
+    ++stats_.region_grows;
+    stats_.region_bytes = mrs_.registered_bytes();
+  }
+  mrs_.note_write(img.rkey, bytes);
+  ++stats_.writes_posted;
+  plane_.write(
+      initiator, img.node, bytes, extra,
+      [this, bytes, on_written = std::move(on_written)] {
+        stats_.write_bytes += bytes;
+        if (on_written) on_written();
+      },
+      [this] { ++stats_.write_drops; });
+}
+
+void RemoteStateBackend::apply_delta(TaskImage& img,
+                                     std::span<const uint8_t> delta) const {
+  const uint64_t page = cfg_.delta_page_bytes;
+  ByteReader r(delta);
+  const size_t n_cells = r.get_varint();
+  for (size_t i = 0; i < n_cells; ++i) {
+    const std::string name = r.get_string();
+    const uint64_t new_size = r.get_varint();
+    const size_t n_pages = r.get_varint();
+    std::vector<uint8_t>& body = img.cells[name];
+    body.resize(new_size, 0);
+    for (size_t p = 0; p < n_pages; ++p) {
+      const uint64_t idx = r.get_varint();
+      const std::vector<uint8_t> bytes = r.get_bytes();
+      const size_t off = static_cast<size_t>(idx * page);
+      assert(off + bytes.size() <= body.size());
+      std::copy(bytes.begin(), bytes.end(),
+                body.begin() + static_cast<ptrdiff_t>(off));
+    }
+  }
+}
+
+void RemoteStateBackend::commit(uint64_t epoch) {
+  for (auto& [task, img] : images_) {
+    if (!img.staged || img.staged_epoch != epoch) continue;
+    apply_delta(img, img.staged_delta);
+    img.staged = false;
+    img.staged_delta.clear();
+    img.assembled_valid = false;
+  }
+}
+
+void RemoteStateBackend::abort(uint64_t epoch) {
+  for (auto& [task, img] : images_) {
+    if (img.staged && img.staged_epoch == epoch) {
+      img.staged = false;
+      img.staged_delta.clear();
+    }
+  }
+}
+
+void RemoteStateBackend::read_images(sim::CpuServer* initiator, int node,
+                                     std::function<void()> on_data) {
+  const uint64_t bytes = committed_bytes_total();
+  ++stats_.reads_posted;
+  plane_.read(
+      initiator, node, bytes,
+      [this, bytes, on_data = std::move(on_data)] {
+        stats_.read_bytes += bytes;
+        if (on_data) on_data();
+      },
+      [this] { ++stats_.read_drops; });
+}
+
+const std::vector<uint8_t>& RemoteStateBackend::committed_image(
+    int task) const {
+  static const std::vector<uint8_t> kEmpty;
+  auto it = images_.find(task);
+  if (it == images_.end()) return kEmpty;
+  const TaskImage& img = it->second;
+  if (!img.assembled_valid) {
+    ByteWriter w;
+    w.put_varint(img.cells.size());
+    for (const auto& [name, body] : img.cells) {  // std::map: sorted names
+      w.put_string(name);
+      w.put_bytes(std::span<const uint8_t>(body.data(), body.size()));
+    }
+    img.assembled = w.take();
+    img.assembled_valid = true;
+  }
+  return img.assembled;
+}
+
+uint64_t RemoteStateBackend::committed_bytes_total() const {
+  uint64_t n = 0;
+  for (const auto& [task, img] : images_) {
+    n += committed_image(task).size();
+  }
+  return n;
+}
+
+}  // namespace whale::state

@@ -1,0 +1,118 @@
+// RDMA-resident remote state backend (DESIGN.md §12).
+//
+// Binds every task's StateStore to a registered memory region on a
+// designated state-host node appended to the simulated fabric. Snapshot
+// writes become one-sided RDMA WRITEs — the host's CPU is never scheduled
+// in the snapshot path — and crash recovery becomes one-sided READs of
+// the committed images.
+//
+// The host keeps a cell-granular image per task (name -> bytes), seeded
+// from the epoch-0 full snapshot at bind time. Each epoch the task ships
+// a delta blob (StateStore::snapshot_delta — full mode is just a delta
+// of every page) which is *staged* at WRITE time and merged into the
+// committed image only when the engine commits the epoch; an aborted
+// epoch's staged deltas are dropped, leaving the host image exactly at
+// the last commit — the same image the StateStore baselines diff against.
+//
+// Like the CheckpointCoordinator, this is passive bookkeeping plus op
+// scheduling: the engine drives every transition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "net/cost_model.h"
+#include "net/fabric.h"
+#include "rdma/mr.h"
+#include "sim/cpu.h"
+#include "state/state.h"
+
+namespace whale::state {
+
+class RemoteStateBackend {
+ public:
+  struct Stats {
+    uint64_t writes_posted = 0;
+    uint64_t write_bytes = 0;   // one-sided snapshot WRITE payloads
+    uint64_t reads_posted = 0;
+    uint64_t read_bytes = 0;    // one-sided recovery READ payloads
+    uint64_t write_drops = 0;   // WRITEs eaten by the fabric
+    uint64_t read_drops = 0;
+    uint64_t regions = 0;           // registered memory regions
+    uint64_t region_bytes = 0;      // pinned capacity total
+    uint64_t region_grows = 0;      // re-registrations after image growth
+  };
+
+  RemoteStateBackend(net::Fabric& fabric, const net::CostModel& cost,
+                     const StateConfig& cfg, int host_node);
+
+  int host_node() const { return host_node_; }
+
+  // Registers a memory region for `task` (sized to its epoch-0 image,
+  // floored at cfg.mr_min_capacity) and seeds the host-resident image
+  // from the epoch-0 full snapshot. Must be called once per task before
+  // any write_snapshot.
+  void bind_task(int task, int node, std::span<const uint8_t> epoch0_image);
+
+  // Ships `delta` (snapshot_delta format) to the host as a one-sided
+  // WRITE from `initiator` (the task's executor CPU on its own node) and
+  // stages it for `epoch`. `extra_bytes` rides the same WRITE without
+  // entering the image (in-flight channel state under unaligned
+  // barriers). `on_written` fires at initiator CQ time — the engine then
+  // drives CheckpointCoordinator::write_complete. A fabric drop
+  // (initiator crashed mid-write) fires nothing; the epoch aborts at the
+  // next tick as usual.
+  void write_snapshot(int task, uint64_t epoch, sim::CpuServer* initiator,
+                      std::vector<uint8_t> delta, uint64_t extra_bytes,
+                      std::function<void()> on_written);
+
+  // Merges every delta staged for `epoch` into the committed images.
+  void commit(uint64_t epoch);
+  // Drops every delta staged for `epoch`.
+  void abort(uint64_t epoch);
+
+  // One-sided READ of all committed images back to a recovering node.
+  // Models one aggregated READ of committed_bytes_total(); `on_data`
+  // fires when the payload lands.
+  void read_images(sim::CpuServer* initiator, int node,
+                   std::function<void()> on_data);
+
+  // Committed image of `task`, assembled in snapshot() format (cells in
+  // sorted-name order — deterministic across platforms). Never empty for
+  // a bound task: the epoch-0 seed guarantees at least the framing.
+  const std::vector<uint8_t>& committed_image(int task) const;
+  uint64_t committed_bytes_total() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TaskImage {
+    int node = 0;
+    uint32_t rkey = 0;
+    std::map<std::string, std::vector<uint8_t>> cells;  // committed
+    bool staged = false;
+    uint64_t staged_epoch = 0;
+    std::vector<uint8_t> staged_delta;
+    mutable std::vector<uint8_t> assembled;  // lazy snapshot()-format cache
+    mutable bool assembled_valid = false;
+  };
+
+  void apply_delta(TaskImage& img, std::span<const uint8_t> delta) const;
+  static std::map<std::string, std::vector<uint8_t>> parse_snapshot(
+      std::span<const uint8_t> blob);
+
+  net::Fabric& fabric_;
+  const StateConfig& cfg_;
+  int host_node_;
+  rdma::MemoryRegionTable mrs_;
+  rdma::OneSidedPlane plane_;
+  std::map<int, TaskImage> images_;
+  Stats stats_;
+};
+
+}  // namespace whale::state

@@ -42,6 +42,32 @@ struct StateConfig {
   // and rewinds spouts to its source offsets instead of relying on the
   // acker's timeout replay; acker replay is disabled for the run.
   bool recover_from_checkpoint = true;
+
+  // --- remote-state backend (DESIGN.md §12) -------------------------------
+  // When true, snapshots go to RDMA-registered memory on a dedicated
+  // state-host node appended to the fabric, via one-sided WRITEs (zero
+  // receiver CPU); recovery reads the committed images back with
+  // one-sided READs. The local persistent-store model above is bypassed.
+  bool remote = false;
+  // Incremental/differential snapshots: only pages of dirty cells cross
+  // the wire (StateStore::snapshot_delta). Requires `remote` — the local
+  // store path always writes full images.
+  bool incremental = false;
+  // Flink-style unaligned barriers: snapshot at the FIRST barrier of an
+  // epoch and keep processing; tuples arriving on not-yet-fenced channels
+  // are captured as channel state (and re-injected at recovery) instead
+  // of stalling the executor for alignment.
+  bool unaligned = false;
+  // Page granularity of the differential diff. Smaller pages ship fewer
+  // bytes per dirty cell but more per-page framing.
+  uint64_t delta_page_bytes = 256;
+  // Memory-region sizing on the state host: regions are registered at
+  // bind time with at least this capacity and doubled (re-registered)
+  // when a task's image outgrows them.
+  uint64_t mr_min_capacity = 4096;
+  // Latency charged to a snapshot WRITE that first has to re-register a
+  // grown memory region (pinning + rkey exchange, off the data path).
+  Duration mr_register_latency = us(50);
 };
 
 // Modeled time to push `bytes` through the store at `gbps` plus fixed

@@ -13,12 +13,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "faults/plan.h"
+#include "net/fabric.h"
+#include "sim/cpu.h"
+#include "sim/simulation.h"
 #include "state/checkpoint.h"
+#include "state/remote_store.h"
 #include "state/state_store.h"
 
 namespace whale::core {
@@ -88,6 +95,171 @@ TEST(StateStore, RestoreSkipsUnknownAndKeepsMissingCells) {
   reader.restore(blob);
   EXPECT_EQ(rb, 2);
   EXPECT_EQ(rc, 42);
+}
+
+// --- restore_if / has_cell_matching edge cases ----------------------------
+
+// Builds a store over three int cells ("route.a", "route.ab", "data.x")
+// whose live values the test mutates between snapshot and restore.
+struct FilterFixture {
+  int64_t route_a = 1, route_ab = 2, data_x = 3;
+  state::StateStore store;
+  FilterFixture() {
+    auto cell = [this](const char* name, int64_t* v) {
+      store.register_cell(
+          name, [v](ByteWriter& w) { w.put_i64(*v); },
+          [v](ByteReader& r) { *v = r.get_i64(); });
+    };
+    cell("route.a", &route_a);
+    cell("route.ab", &route_ab);
+    cell("data.x", &data_x);
+  }
+};
+
+TEST(StateStore, RestoreIfEmptyPrefixMatchesEverything) {
+  FilterFixture f;
+  const auto blob = f.store.snapshot();
+  f.route_a = -1;
+  f.route_ab = -2;
+  f.data_x = -3;
+  // An empty-prefix filter passes every name: full restore semantics.
+  f.store.restore_if(blob, [](const std::string& n) {
+    return n.rfind("", 0) == 0;
+  });
+  EXPECT_EQ(f.route_a, 1);
+  EXPECT_EQ(f.route_ab, 2);
+  EXPECT_EQ(f.data_x, 3);
+}
+
+TEST(StateStore, RestoreIfOverlappingPrefixes) {
+  FilterFixture f;
+  const auto blob = f.store.snapshot();
+  f.route_a = -1;
+  f.route_ab = -2;
+  f.data_x = -3;
+  // "route.a" is itself a prefix of "route.ab": both must roll back, the
+  // data cell must stay live.
+  f.store.restore_if(blob, [](const std::string& n) {
+    return n.rfind("route.a", 0) == 0;
+  });
+  EXPECT_EQ(f.route_a, 1);
+  EXPECT_EQ(f.route_ab, 2);
+  EXPECT_EQ(f.data_x, -3);
+}
+
+TEST(StateStore, RestoreIfOntoMissingCellIsANoOp) {
+  FilterFixture f;
+  const auto blob = f.store.snapshot();
+  // A reader registering none of the blob's matched cells: nothing to
+  // apply, nothing corrupted, live cells untouched.
+  int64_t other = 99;
+  state::StateStore reader;
+  reader.register_cell(
+      "other", [&](ByteWriter& w) { w.put_i64(other); },
+      [&](ByteReader& r) { other = r.get_i64(); });
+  reader.restore_if(blob, [](const std::string& n) {
+    return n.rfind("route.", 0) == 0;
+  });
+  EXPECT_EQ(other, 99);
+}
+
+TEST(StateStore, RestoreIfLeavesUnmatchedCellsLive) {
+  FilterFixture f;
+  const auto blob = f.store.snapshot();
+  // Only data.* rolls back; the route cells keep their post-snapshot
+  // values even though the blob carries their old ones.
+  f.route_a = 10;
+  f.route_ab = 20;
+  f.data_x = 30;
+  f.store.restore_if(blob, [](const std::string& n) {
+    return n.rfind("data.", 0) == 0;
+  });
+  EXPECT_EQ(f.route_a, 10);
+  EXPECT_EQ(f.route_ab, 20);
+  EXPECT_EQ(f.data_x, 3);
+}
+
+TEST(StateStore, HasCellMatchingEdgeCases) {
+  state::StateStore empty;
+  EXPECT_FALSE(empty.has_cell_matching([](const std::string&) {
+    return true;
+  }));
+  FilterFixture f;
+  EXPECT_TRUE(f.store.has_cell_matching([](const std::string& n) {
+    return n.rfind("route.ab", 0) == 0;  // exact full-name prefix
+  }));
+  EXPECT_TRUE(f.store.has_cell_matching([](const std::string& n) {
+    return n.rfind("", 0) == 0;  // empty prefix: any cell
+  }));
+  EXPECT_FALSE(f.store.has_cell_matching([](const std::string& n) {
+    return n.rfind("route.abc", 0) == 0;  // longer than any name
+  }));
+}
+
+// --- incremental deltas (dirty tracking) ----------------------------------
+
+TEST(StateStore, SnapshotDeltaSkipsCleanCells) {
+  FilterFixture f;
+  const auto full = f.store.snapshot();
+  f.store.rebase(full);  // baselines = current content
+  state::StateStore::DeltaStats ds;
+  const auto none = f.store.snapshot_delta(/*page_bytes=*/64,
+                                           /*force_full=*/false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 0u);
+  EXPECT_EQ(ds.clean_cells, 3u);
+  EXPECT_LT(ds.shipped_bytes, ds.full_bytes);
+  f.store.commit_baseline();
+
+  f.route_a = 42;
+  const auto one = f.store.snapshot_delta(64, false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 1u);
+  EXPECT_EQ(ds.clean_cells, 2u);
+  EXPECT_GT(one.size(), none.size());
+}
+
+TEST(StateStore, SnapshotDeltaIsPageGranular) {
+  std::vector<uint8_t> big(1024, 7);
+  state::StateStore store;
+  store.register_cell(
+      "big",
+      [&](ByteWriter& w) {
+        w.put_bytes(std::span<const uint8_t>(big.data(), big.size()));
+      },
+      [&](ByteReader& r) { big = r.get_bytes(); });
+  store.rebase(store.snapshot());
+  big[600] = 8;  // one byte -> one dirty page
+  state::StateStore::DeltaStats ds;
+  const auto delta = store.snapshot_delta(/*page_bytes=*/64, false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 1u);
+  EXPECT_LT(ds.shipped_bytes, ds.full_bytes / 4);  // one page of sixteen
+  // force_full ships every page regardless of the baselines.
+  store.drop_pending_baseline();
+  const auto full = store.snapshot_delta(64, /*force_full=*/true, &ds);
+  EXPECT_GT(full.size(), delta.size());
+  EXPECT_GE(ds.shipped_bytes, 1024u);
+}
+
+TEST(StateStore, DeltaBaselineLifecycle) {
+  int64_t v = 1;
+  state::StateStore store;
+  store.register_cell(
+      "v", [&](ByteWriter& w) { w.put_i64(v); },
+      [&](ByteReader& r) { v = r.get_i64(); });
+  store.rebase(store.snapshot());
+  v = 5;
+  state::StateStore::DeltaStats ds;
+  store.snapshot_delta(64, false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 1u);
+  // Dropped (epoch aborted): the next delta diffs against the OLD
+  // baseline and ships the cell again.
+  store.drop_pending_baseline();
+  store.snapshot_delta(64, false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 1u);
+  // Committed: the baseline advances and the cell reads clean.
+  store.commit_baseline();
+  store.snapshot_delta(64, false, &ds);
+  EXPECT_EQ(ds.dirty_cells, 0u);
+  EXPECT_EQ(ds.clean_cells, 1u);
 }
 
 // --- (b) barrier sentinels ------------------------------------------------
@@ -253,7 +425,12 @@ TEST(Checkpoints, DisabledRunMatchesUnconfiguredRun) {
 
 // --- (e) exactly-once across crash + restore ------------------------------
 
-TEST(Checkpoints, ExactlyOnceAcrossCrashAndRestore) {
+// Shared crash/restore scenario, run under a caller-tweaked StateConfig
+// (local store, remote backend, incremental deltas, unaligned barriers):
+// every sequence number the spout generated must land in the sink's state
+// exactly once. Returns a copy of the report for backend-specific checks.
+RunReport run_exactly_once_scenario(
+    const std::function<void(EngineConfig&)>& tweak) {
   EngineConfig c = base_cfg(4);
   c.seed = 23;
   c.state.enabled = true;
@@ -296,11 +473,12 @@ TEST(Checkpoints, ExactlyOnceAcrossCrashAndRestore) {
   // returns at 452 ms; recovery restores the last committed snapshot and
   // replays the uncommitted spout log.
   c.faults.crash(/*node=*/1, /*at=*/ms(302), /*restart_after=*/ms(150));
+  tweak(c);
 
   Engine e(c, b.build());
   const auto& r = e.run(ms(100), ms(700));
-  ASSERT_NE(spout, nullptr);
-  ASSERT_NE(sink, nullptr);
+  EXPECT_NE(spout, nullptr);
+  EXPECT_NE(sink, nullptr);
 
   EXPECT_EQ(r.node_crashes, 1u);
   EXPECT_EQ(r.node_restarts, 1u);
@@ -309,8 +487,8 @@ TEST(Checkpoints, ExactlyOnceAcrossCrashAndRestore) {
   EXPECT_GE(r.epochs_aborted, 1u);     // the one the crash interrupted
   EXPECT_GT(r.checkpoint_replays, 0u);
   // The accounting below is only exact if nothing was dropped at a queue.
-  ASSERT_EQ(r.input_drops, 0u);
-  ASSERT_EQ(r.queue_rejects, 0u);
+  EXPECT_EQ(r.input_drops, 0u);
+  EXPECT_EQ(r.queue_rejects, 0u);
 
   // Exactly-once: every sequence number the spout generated is in the sink
   // state exactly once — committed tuples via the restored snapshot,
@@ -322,6 +500,48 @@ TEST(Checkpoints, ExactlyOnceAcrossCrashAndRestore) {
   }
   // The committed set never exceeds what the sink actually processed.
   EXPECT_LE(e.checkpoints().committed_root_count(), counts.size());
+  return r;
+}
+
+TEST(Checkpoints, ExactlyOnceAcrossCrashAndRestore) {
+  run_exactly_once_scenario([](EngineConfig&) {});
+}
+
+TEST(Checkpoints, ExactlyOnceWithRemoteBackend) {
+  const RunReport r = run_exactly_once_scenario(
+      [](EngineConfig& c) { c.state.remote = true; });
+  EXPECT_GT(r.remote_writes, 0u);
+  EXPECT_GT(r.remote_write_bytes, 0u);
+  EXPECT_GE(r.remote_reads, 1u);  // recovery READ the committed images
+  EXPECT_GT(r.remote_read_bytes, 0u);
+  EXPECT_EQ(r.mr_regions, 4u);    // one region per task (1 + 2 + 1)
+}
+
+TEST(Checkpoints, ExactlyOnceWithIncrementalSnapshots) {
+  const RunReport r = run_exactly_once_scenario([](EngineConfig& c) {
+    c.state.remote = true;
+    c.state.incremental = true;
+  });
+  // The delta census actually ran: cells were diffed, some skipped clean.
+  EXPECT_GT(r.state_dirty_cells, 0u);
+  EXPECT_GT(r.snapshot_full_bytes, r.checkpoint_bytes);
+}
+
+TEST(Checkpoints, ExactlyOnceWithUnalignedBarriers) {
+  const RunReport r = run_exactly_once_scenario(
+      [](EngineConfig& c) { c.state.unaligned = true; });
+  // Unaligned mode never stalls an executor waiting for barriers.
+  EXPECT_EQ(r.align_stall_total, 0);
+}
+
+TEST(Checkpoints, ExactlyOnceWithEverythingOn) {
+  const RunReport r = run_exactly_once_scenario([](EngineConfig& c) {
+    c.state.remote = true;
+    c.state.incremental = true;
+    c.state.unaligned = true;
+  });
+  EXPECT_GT(r.remote_writes, 0u);
+  EXPECT_EQ(r.align_stall_total, 0);
 }
 
 // --- (f) epochs are fenced across switches and repairs --------------------
@@ -363,6 +583,164 @@ TEST(Checkpoints, EpochsSurviveRelayCrashAndRepair) {
   const auto& tree = e.group_tree(0);
   EXPECT_EQ(tree.num_removed(), 0);
   EXPECT_EQ(tree.validate(), "");
+}
+
+// --- remote state backend (DESIGN.md §12) ---------------------------------
+
+TEST(RemoteBackend, StagedDeltaCommitsIntoHostImage) {
+  sim::Simulation sim;
+  net::ClusterSpec cluster;
+  cluster.num_nodes = 2;  // node 0 = worker, node 1 = state host
+  net::Fabric fabric(sim, cluster);
+  net::CostModel cost;
+  state::StateConfig cfg;
+  cfg.remote = true;
+  cfg.incremental = true;
+  state::RemoteStateBackend be(fabric, cost, cfg, /*host_node=*/1);
+  sim::CpuServer cpu(sim, "t0", nullptr);
+
+  int64_t v = 7;
+  state::StateStore store;
+  store.register_cell(
+      "v", [&](ByteWriter& w) { w.put_i64(v); },
+      [&](ByteReader& r) { v = r.get_i64(); });
+  const auto epoch0 = store.snapshot();
+  be.bind_task(0, /*node=*/0, epoch0);
+  store.rebase(epoch0);
+  EXPECT_EQ(be.committed_image(0), epoch0);
+  EXPECT_EQ(be.stats().regions, 1u);
+
+  v = 8;
+  auto delta = store.snapshot_delta(cfg.delta_page_bytes, false);
+  bool written = false;
+  be.write_snapshot(0, /*epoch=*/1, &cpu, std::move(delta),
+                    /*extra_bytes=*/0, [&] { written = true; });
+  sim.run_until(ms(10));
+  EXPECT_TRUE(written);
+  EXPECT_GT(be.stats().write_bytes, 0u);
+  // Staged, not yet committed: a racing recovery still READs epoch 0.
+  EXPECT_EQ(be.committed_image(0), epoch0);
+
+  be.commit(1);
+  store.commit_baseline();
+  EXPECT_EQ(be.committed_image(0), store.snapshot());
+}
+
+TEST(RemoteBackend, AbortDropsStagedDelta) {
+  sim::Simulation sim;
+  net::ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  net::Fabric fabric(sim, cluster);
+  net::CostModel cost;
+  state::StateConfig cfg;
+  cfg.remote = true;
+  state::RemoteStateBackend be(fabric, cost, cfg, 1);
+  sim::CpuServer cpu(sim, "t0", nullptr);
+
+  int64_t v = 7;
+  state::StateStore store;
+  store.register_cell(
+      "v", [&](ByteWriter& w) { w.put_i64(v); },
+      [&](ByteReader& r) { v = r.get_i64(); });
+  const auto epoch0 = store.snapshot();
+  be.bind_task(0, 0, epoch0);
+  store.rebase(epoch0);
+  v = 9;
+  be.write_snapshot(0, 1, &cpu,
+                    store.snapshot_delta(cfg.delta_page_bytes, true), 0,
+                    nullptr);
+  sim.run_until(ms(10));
+  be.abort(1);
+  store.drop_pending_baseline();
+  be.commit(1);  // nothing staged anymore: must be a no-op
+  EXPECT_EQ(be.committed_image(0), epoch0);
+}
+
+// Stateful shuffle pipeline (spout cursor + counting sink) whose sink
+// state grows every epoch — the workload the incremental-delta and
+// unaligned-barrier comparisons run on.
+RunReport run_stateful_pipeline(const std::function<void(EngineConfig&)>& tweak) {
+  EngineConfig c = base_cfg(4);
+  c.seed = 31;
+  c.state.enabled = true;
+  c.state.checkpoint_interval = ms(25);
+  c.executor_queue_capacity = 65536;
+  c.transfer_queue_capacity = 65536;
+  tweak(c);
+  dsps::TopologyBuilder b;
+  const int s = b.add_spout(
+      "s", [] { return std::make_unique<SeqSpout>(); }, 1,
+      dsps::RateProfile::constant(2000.0));
+  const int f = b.add_bolt(
+      "f", [] { return std::make_unique<ForwardBolt>(); }, 2);
+  const int k = b.add_bolt(
+      "c", [] { return std::make_unique<CountingSink>(); }, 1);
+  b.connect(s, f, dsps::Grouping::kShuffle);
+  b.connect(f, k, dsps::Grouping::kShuffle);
+  Engine e(c, b.build());
+  return e.run(ms(100), ms(500));
+}
+
+TEST(RemoteState, HealthyRunIsDeterministic) {
+  auto fp = [] {
+    return run_stateful_pipeline([](EngineConfig& c) {
+             c.state.remote = true;
+             c.state.incremental = true;
+           })
+        .fingerprint();
+  };
+  const std::string a = fp();
+  EXPECT_NE(a.find("rwrites="), std::string::npos);
+  EXPECT_EQ(a, fp());
+}
+
+TEST(RemoteState, BackendKnobsAreInertWhenRemoteOff) {
+  // Every backend knob flipped while remote stays off: bit-identical to
+  // the stock local-store run (the knobs must gate on remote, not leak).
+  auto fp = [](bool touch) {
+    return run_stateful_pipeline([touch](EngineConfig& c) {
+             if (touch) {
+               c.state.incremental = true;
+               c.state.delta_page_bytes = 64;
+               c.state.mr_min_capacity = 1;
+               c.state.mr_register_latency = ms(5);
+             }
+           })
+        .fingerprint();
+  };
+  EXPECT_EQ(fp(false), fp(true));
+}
+
+TEST(RemoteState, IncrementalDeltasCutSnapshotBytes) {
+  const RunReport full = run_stateful_pipeline(
+      [](EngineConfig& c) { c.state.remote = true; });
+  const RunReport incr = run_stateful_pipeline([](EngineConfig& c) {
+    c.state.remote = true;
+    c.state.incremental = true;
+  });
+  ASSERT_GT(full.epochs_completed, 4u);
+  ASSERT_GT(incr.epochs_completed, 4u);
+  // Same workload, same epochs: deltas ship a fraction of the full images.
+  // (Every registered cell here — cursors, counts — mutates every epoch,
+  // so the win is page-granular, not cell-skipping; clean-cell skipping is
+  // covered by the StateStore unit tests.)
+  EXPECT_LT(incr.checkpoint_bytes * 2, full.checkpoint_bytes);
+  EXPECT_GT(incr.state_dirty_cells, 0u);
+  EXPECT_GT(incr.snapshot_full_bytes, incr.checkpoint_bytes);
+  // Regions were registered and grew with the sink's expanding state.
+  EXPECT_EQ(incr.mr_regions, 4u);
+}
+
+TEST(RemoteState, UnalignedBarriersRemoveAlignmentStall) {
+  const RunReport aligned = run_stateful_pipeline([](EngineConfig&) {});
+  const RunReport unaligned = run_stateful_pipeline(
+      [](EngineConfig& c) { c.state.unaligned = true; });
+  ASSERT_GT(aligned.epochs_completed, 4u);
+  ASSERT_GT(unaligned.epochs_completed, 4u);
+  // The two-channel sink stalls under alignment; unaligned mode snapshots
+  // at the first barrier and never stalls.
+  EXPECT_GT(aligned.align_stall_total, 0);
+  EXPECT_EQ(unaligned.align_stall_total, 0);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ chrome://tracing or ui.perfetto.dev instead.
 Checkpoint-recovery bench JSON (`"bench": "checkpoint_recovery"`, written
 by bench_checkpoint_recovery to results/BENCH_checkpoint.json) becomes
     csv/<stem>_interval_sweep.csv  one row per checkpoint interval
-    csv/<stem>_summary.csv         overhead + vs_acker scenario rows
+    csv/<stem>_summary.csv         overhead + remote_state + vs_acker rows
 
 Usage: tools/results_to_csv.py [results_dir]
 """
@@ -100,7 +100,7 @@ def checkpoint_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
                 w.writerow([row.get(c, "") for c in cols])
         written += 1
     scenarios = {}
-    for section in ("overhead", "vs_acker"):
+    for section in ("overhead", "remote_state", "vs_acker"):
         for name, row in doc.get(section, {}).items():
             if isinstance(row, dict):
                 scenarios[f"{section}/{name}"] = row

@@ -12,6 +12,11 @@ Checks (stdlib only, exit non-zero on the first failure):
     recorded goodput_overhead_frac is within tolerance
   - vs_acker: the acker-only replay duplicates sink applications (at-least
     -once) while the checkpointed run stays exactly-once
+  - remote_state: the staged backend comparison at 25ms — every row stays
+    exactly-once through the crash; the remote rows post one-sided WRITEs
+    and register memory regions; incremental deltas cut the per-epoch
+    snapshot bytes at least 5x; unaligned barriers capture in-flight
+    channel state and shrink the alignment stall
 
 Usage: tools/validate_checkpoint.py [path]   (default:
        results/BENCH_checkpoint.json)
@@ -28,6 +33,12 @@ CHECKPOINT_FIELDS = (
     "epochs_completed", "epochs_aborted", "barriers", "checkpoint_bytes",
     "committed_completions", "duplicates_filtered", "recoveries",
     "checkpoint_replays", "align_stall_ms", "epoch_duration_ms",
+)
+REMOTE_FIELDS = (
+    "snapshot_full_bytes", "dirty_cells", "clean_cells", "remote_writes",
+    "remote_write_bytes", "remote_reads", "remote_read_bytes", "mr_regions",
+    "mr_region_bytes", "mr_region_grows", "channel_tuples_captured",
+    "channel_bytes", "channel_replays",
 )
 
 
@@ -116,6 +127,55 @@ def validate_vs_acker(vs) -> None:
           f"checkpoint duplicates {ckpt['duplicates']}")
 
 
+def validate_remote_state(rs) -> None:
+    rows = ("aligned_full_local", "remote_full", "remote_incremental",
+            "remote_incremental_unaligned")
+    for name in rows:
+        if name not in rs:
+            fail(f"remote_state missing scenario '{name}'")
+        row = rs[name]
+        where = f"remote_state/{name}"
+        require_numbers(row, COMMON_FIELDS + CHECKPOINT_FIELDS, where)
+        if row["duplicates"] != 0 or row["missing"] != 0:
+            fail(f"{where}: exactly-once violated "
+                 f"(duplicates={row['duplicates']}, missing={row['missing']})")
+        if row["recoveries"] != 1:
+            fail(f"{where}: expected exactly one recovery, "
+                 f"got {row['recoveries']}")
+        if row["epochs_completed"] <= 0:
+            fail(f"{where}: no epoch ever committed")
+        if name != "aligned_full_local":
+            require_numbers(row, REMOTE_FIELDS, where)
+            if row["remote_writes"] <= 0 or row["mr_regions"] <= 0:
+                fail(f"{where}: backend on but no one-sided writes / "
+                     "registered regions")
+            if row["remote_reads"] <= 0:
+                fail(f"{where}: recovery never read the host images")
+    unal = rs["remote_incremental_unaligned"]
+    if unal["channel_tuples_captured"] <= 0:
+        fail("unaligned row captured no in-flight channel state")
+    if unal["align_stall_ms"] >= rs["aligned_full_local"]["align_stall_ms"]:
+        fail("unaligned barriers did not reduce the alignment stall")
+    summary = rs.get("summary")
+    if not isinstance(summary, dict):
+        fail("remote_state missing summary")
+    require_numbers(summary, ("bytes_per_epoch_full",
+                              "bytes_per_epoch_incremental",
+                              "bytes_reduction_x", "align_stall_full_ms",
+                              "align_stall_unaligned_ms",
+                              "align_stall_reduction_x"),
+                    "remote_state/summary")
+    if summary["bytes_reduction_x"] < 5.0:
+        fail(f"incremental snapshots cut per-epoch bytes only "
+             f"{summary['bytes_reduction_x']:.2f}x (need >= 5x)")
+    print(f"  remote_state    ok: bytes/epoch "
+          f"{summary['bytes_per_epoch_full']:.0f} -> "
+          f"{summary['bytes_per_epoch_incremental']:.0f} "
+          f"({summary['bytes_reduction_x']:.1f}x), align stall "
+          f"{summary['align_stall_full_ms']:.1f}ms -> "
+          f"{summary['align_stall_unaligned_ms']:.1f}ms")
+
+
 def main() -> int:
     path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
                         else "results/BENCH_checkpoint.json")
@@ -124,11 +184,13 @@ def main() -> int:
     doc = json.loads(path.read_text())
     if doc.get("bench") != "checkpoint_recovery":
         fail(f"unexpected bench tag: {doc.get('bench')!r}")
-    for key in ("config", "interval_sweep", "overhead", "vs_acker"):
+    for key in ("config", "interval_sweep", "overhead", "remote_state",
+                "vs_acker"):
         if key not in doc:
             fail(f"missing top-level '{key}'")
     validate_sweep(doc["interval_sweep"])
     validate_overhead(doc["overhead"])
+    validate_remote_state(doc["remote_state"])
     validate_vs_acker(doc["vs_acker"])
     print("checkpoint bench artifact valid")
     return 0
