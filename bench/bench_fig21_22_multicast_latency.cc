@@ -4,12 +4,91 @@
 // Paper at parallelism 480: Whale's non-blocking tree cuts average
 // multicast latency by 54.4% vs binomial and 57.8% vs sequential on the
 // Didi workload, and 50.6% / 56.6% on NASDAQ.
+//
+// This binary also hosts the routine 480-instance fig-scale entry for the
+// parallel kernel (DESIGN.md §13): the paper's largest fan-out run serial
+// and on the parallel conservative kernel, wall-clock reported.
+// `--parallel N` runs just the fig-scale configs at `sim.threads = N` and
+// prints one JSON line per config; scripts/run_bench.sh sweeps thread
+// counts with it to produce results/BENCH_parallel.json.
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "bench/bench_util.h"
 
 using namespace whale;
 using namespace whale::bench;
 
-int main() {
+namespace {
+
+struct ParallelPoint {
+  uint64_t events = 0;
+  double wall_ms = 0;
+  bool engaged = false;  // parallel kernel actually ran (vs serial fallback)
+};
+
+// One fig-scale run at a given thread count. Both configs use
+// parallel-eligible variants (no optimized-RDMA transport, no non-blocking
+// tree switching), so threads >= 2 really exercises the parallel kernel
+// and stays bit-identical to serial.
+ParallelPoint run_fig_scale(const char* config, int threads) {
+  const double s = scale();
+  core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 30;
+  cfg.cluster.cores_per_node = 16;
+  cfg.seed = 42;
+  cfg.sim.threads = threads;
+
+  dsps::Topology topo;
+  if (std::strcmp(config, "fig13-ride") == 0) {
+    // Fig. 13 shape: instance-oriented Storm on the ride-hailing app —
+    // the per-instance serialization bottleneck, heavy CPU per event.
+    cfg.variant = core::SystemVariant::Storm();
+    auto p = ride_params(std::max(4, static_cast<int>(240 * s)), 2000, 1500);
+    topo = apps::build_ride_hailing(p).topology;
+  } else {
+    // Fig. 21 shape at the paper's largest fan-out: 480 matching
+    // instances, worker-oriented batching (WOC) over RDMA send/recv.
+    cfg.variant = core::SystemVariant::WhaleWoc();
+    auto p = ride_params(std::max(4, static_cast<int>(480 * s)), 2000, 1500);
+    topo = apps::build_ride_hailing(p).topology;
+  }
+
+  core::Engine e(cfg, std::move(topo));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& r = e.run(warmup_ms(), window_ms());
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ParallelPoint pt;
+  pt.events = r.sim_events;
+  pt.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  pt.engaged = e.parallel();
+  return pt;
+}
+
+constexpr const char* kParallelConfigs[] = {"fig13-ride", "fig21-mcast480"};
+
+int parallel_mode(int threads) {
+  for (const char* config : kParallelConfigs) {
+    const ParallelPoint pt = run_fig_scale(config, threads);
+    std::printf(
+        "{\"config\": \"%s\", \"threads\": %d, \"engaged\": %s, "
+        "\"events\": %llu, \"wall_ms\": %.2f, \"events_per_sec\": %.0f}\n",
+        config, threads, pt.engaged ? "true" : "false",
+        static_cast<unsigned long long>(pt.events), pt.wall_ms,
+        static_cast<double>(pt.events) / (pt.wall_ms / 1e3));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--parallel") == 0) {
+    return parallel_mode(std::atoi(argv[2]));
+  }
   header("Figs. 21/22 — average multicast latency vs parallelism (d*=3)",
          "non-blocking cuts avg multicast latency ~54%/58% vs "
          "binomial/sequential (ride-hailing), ~51%/57% (stock)");
@@ -38,6 +117,22 @@ int main() {
              fmt_ms(r.mcast_latency_ms_avg()),
              fmt_ms(to_millis(r.multicast_latency.p99()))});
       }
+    }
+  }
+
+  // Routine fig-scale serial vs parallel entry (the paper's largest
+  // fan-out, 480 instances): same simulated work at every thread count —
+  // the parallel kernel is bit-identical to serial — so wall-clock is the
+  // only thing that moves.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\n[fig-scale serial vs parallel kernel, host_cores=%u]\n", hw);
+  row({"config", "threads", "engaged", "events", "wall_ms"});
+  for (const char* config : kParallelConfigs) {
+    for (int threads : {1, static_cast<int>(hw)}) {
+      const ParallelPoint pt = run_fig_scale(config, threads);
+      row({config, std::to_string(threads), pt.engaged ? "yes" : "no",
+           std::to_string(pt.events), fmt_ms(pt.wall_ms)});
+      if (hw == 1) break;  // threads {1, hw} collapse to one point
     }
   }
   return 0;

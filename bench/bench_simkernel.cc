@@ -17,6 +17,7 @@
 // stdout; scripts/run_bench.sh records it into BENCH_simkernel.json.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>

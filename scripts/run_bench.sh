@@ -1,10 +1,12 @@
 #!/bin/sh
 # Runs the simulator hot-path benchmark and records the result in
-# BENCH_simkernel.json at the repo root.
+# BENCH_simkernel.json at the repo root, then sweeps the parallel kernel
+# over thread counts 1/2/4/8 on the two fig-scale configs and records
+# results/BENCH_parallel.json (validated by tools/validate_parallel.py).
 #
-# The bench is run REPS times and the run with the fastest "mixed" phase
-# is kept (best-of-N: the minimum wall time is the measurement least
-# disturbed by other load on the machine). The committed
+# The simkernel bench is run REPS times and the run with the fastest
+# "mixed" phase is kept (best-of-N: the minimum wall time is the
+# measurement least disturbed by other load on the machine). The committed
 # results/bench_simkernel_baseline.json holds the pre-optimisation
 # numbers the "speedup_mixed" field is computed against.
 #
@@ -48,3 +50,31 @@ baseline_rate="$(sed -n 's/.*"mixed".*"events_per_sec": \([0-9]*\).*/\1/p' \
 
 echo "wrote BENCH_simkernel.json (best mixed: ${best_rate} events/sec," \
      "baseline: ${baseline_rate}, see speedup_mixed)"
+
+# --- parallel kernel sweep ---------------------------------------------------
+# Same simulated work at every thread count (the kernel is bit-identical
+# to serial); host_cores is recorded because wall-clock speedup is only
+# meaningful when the host actually has cores for the partition threads.
+cmake --build build --target bench_fig21_22_multicast_latency -j > /dev/null
+
+host_cores="$(nproc 2>/dev/null || echo 1)"
+sweep=""
+for t in 1 2 4 8; do
+  echo "parallel sweep: threads=$t"
+  lines="$(./build/bench/bench_fig21_22_multicast_latency --parallel "$t")"
+  while [ -n "$lines" ]; do
+    line="$(printf '%s\n' "$lines" | head -n 1)"
+    lines="$(printf '%s\n' "$lines" | tail -n +2)"
+    [ -n "$line" ] || continue
+    if [ -n "$sweep" ]; then sweep="$sweep,
+    $line"; else sweep="$line"; fi
+  done
+done
+
+{
+  printf '{\n  "bench": "parallel",\n'
+  printf '  "host_cores": %s,\n' "$host_cores"
+  printf '  "sweep": [\n    %s\n  ]\n}\n' "$sweep"
+} > results/BENCH_parallel.json
+
+python3 tools/validate_parallel.py results/BENCH_parallel.json

@@ -16,6 +16,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/slab.h"
+
 namespace whale {
 
 class InlineFunction {
@@ -95,6 +97,13 @@ class InlineFunction {
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &kInlineOps<Fn>;
+    } else if constexpr (alignof(Fn) <= alignof(std::max_align_t)) {
+      // Oversized capture: one recycled slab block instead of a fresh
+      // heap allocation (the engine's fattest continuations land here).
+      void* p = slab_alloc(sizeof(Fn));
+      ::new (p) Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) Fn*(static_cast<Fn*>(p));
+      ops_ = &kSlabOps<Fn>;
     } else {
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &kHeapOps<Fn>;
@@ -116,6 +125,17 @@ class InlineFunction {
         static_cast<Fn*>(src)->~Fn();
       },
       [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kSlabOps = {
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(*static_cast<Fn**>(src)); },
+      [](void* self) {
+        Fn* p = *static_cast<Fn**>(self);
+        p->~Fn();
+        slab_free(p, sizeof(Fn));
+      },
   };
 
   template <typename Fn>

@@ -1,10 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/slab.h"
 #include "multicast/queue_model.h"
 
 namespace whale::core {
@@ -26,18 +28,47 @@ constexpr uint64_t kMaxTrackedTuples = 1 << 20;
 // leaks every chain ever started.
 template <typename Body>
 void loop_async(Body body_in) {
+  // Intrusively refcounted, slab-recycled state: a loop iteration costs
+  // zero allocations once the slab is warm. The refcount switches to
+  // atomic ops in parallel mode (a chain's continuations always run on
+  // one partition, but the guard keeps the invariant local, not global).
   struct State {
-    explicit State(Body b) : body(std::move(b)) {}
+    uint32_t refs;
     Body body;
   };
   struct Next {
-    std::shared_ptr<State> st;
+    State* st = nullptr;
+    explicit Next(State* adopted) : st(adopted) {}
+    Next(const Next& o) : st(o.st) {
+      if (g_buffer_mt) {
+        std::atomic_ref<uint32_t>(st->refs).fetch_add(
+            1, std::memory_order_relaxed);
+      } else {
+        ++st->refs;
+      }
+    }
+    Next(Next&& o) noexcept : st(o.st) { o.st = nullptr; }
+    Next& operator=(const Next&) = delete;
+    Next& operator=(Next&&) = delete;
+    ~Next() {
+      if (!st) return;
+      const bool last =
+          g_buffer_mt
+              ? std::atomic_ref<uint32_t>(st->refs).fetch_sub(
+                    1, std::memory_order_acq_rel) == 1
+              : --st->refs == 0;
+      if (last) {
+        st->~State();
+        slab_free(st, sizeof(State));
+      }
+    }
     void operator()() const {
-      auto keep = st;  // the body may drop the last external reference
-      keep->body(Next{keep});
+      Next keep(*this);  // the body may drop the last external reference
+      keep.st->body(keep);
     }
   };
-  Next{std::make_shared<State>(std::move(body_in))}();
+  void* p = slab_alloc(sizeof(State));
+  Next{::new (p) State{1, std::move(body_in)}}();
 }
 
 }  // namespace
@@ -50,7 +81,21 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
   net::ClusterSpec cluster = cfg_.cluster;
   const bool remote = state::kCompiled && cfg_.state.enabled && cfg_.state.remote;
   if (remote) cluster.num_nodes += 1;
-  fabric_ = std::make_unique<net::Fabric>(sim_, cluster);
+  // Parallel kernel opt-in: decided before the fabric exists so the NICs
+  // bind to their node's partition. Leaves psim_ null (exact serial path)
+  // unless the configuration is provably safe to partition.
+  setup_parallel();
+  fabric_ = std::make_unique<net::Fabric>(sim_, cluster, psim_.get());
+  if (psim_) {
+    // Conservative lookahead: the minimum cross-partition propagation on
+    // the transport data actually rides (control/data both use it; TCP
+    // variants never touch the IB plane and vice versa).
+    const net::Transport wire =
+        cfg_.variant.transport == TransportMode::kTcp ? net::Transport::kTcp
+                                                      : net::Transport::kRdma;
+    psim_->set_lookahead(
+        fabric_->min_cross_propagation(wire, psim_->node_partition_map()));
+  }
   if (remote) {
     remote_state_ = std::make_unique<state::RemoteStateBackend>(
         *fabric_, cfg_.cost, cfg_.state, /*host_node=*/cfg_.cluster.num_nodes);
@@ -87,6 +132,66 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
   obs_setup();
 }
 
+void Engine::setup_parallel() {
+  if (cfg_.sim.threads < 2) return;
+  // Configurations the partitioner cannot prove safe fall back to the
+  // exact serial path (DESIGN.md §13). Each of these couples partitions
+  // through shared mutable state with order-sensitive semantics (acker
+  // ledger, fault timelines, epoch alignment, obs sampling) or through
+  // zero-lookahead cross-node interactions (one-sided READ rings, tree
+  // switching control traffic).
+  if (cfg_.enable_acking || cfg_.replay_on_failure) return;
+  if (!cfg_.faults.empty()) return;
+  if (cfg_.state.enabled) return;
+  if (cfg_.obs.metrics_enabled || cfg_.obs.tracing_enabled) return;
+  if (cfg_.variant.transport == TransportMode::kRdmaOptimized) return;
+  if (cfg_.variant.mcast == McastMode::kNonblocking) return;
+  // Load-aware strategies read live cross-partition instance loads at
+  // routing time; probe with a throwaway instance per stream.
+  for (const auto& s : topo_.streams) {
+    if (dsps::make_strategy(s)->load_aware()) return;
+  }
+
+  // Partition map: one partition per node, except that every node hosting
+  // a spout instance folds into partition 0 — spout arrivals share the
+  // engine RNG and the root-id counter, so they must execute on a single
+  // thread in a deterministic order. Placement mirrors build_runtime:
+  // instance i of an operator lands on worker/node (i % num_nodes).
+  const int n = cfg_.cluster.num_nodes;
+  std::vector<char> spout_node(static_cast<size_t>(n), 0);
+  for (const auto& op : topo_.ops) {
+    if (!op.is_spout) continue;
+    for (int i = 0; i < op.parallelism; ++i) {
+      spout_node[static_cast<size_t>(i % n)] = 1;
+    }
+  }
+  std::vector<int> part(static_cast<size_t>(n), 0);
+  bool have_zero = false;
+  for (char s : spout_node) have_zero |= (s != 0);
+  int next = 1;
+  for (int node = 0; node < n; ++node) {
+    if (spout_node[static_cast<size_t>(node)]) {
+      part[static_cast<size_t>(node)] = 0;
+    } else if (!have_zero) {
+      part[static_cast<size_t>(node)] = 0;  // anchor partition 0 somewhere
+      have_zero = true;
+    } else {
+      part[static_cast<size_t>(node)] = next++;
+    }
+  }
+  const int num_partitions = next;
+  if (num_partitions < 2) return;  // nothing to parallelize
+
+  // Buffers will cross partition threads from here on (relayed multicast
+  // payloads, routed deliveries); flip refcounting/pooling to mt mode
+  // before any worker thread exists so the flip happens-before all of
+  // them. Sticky for the process by design.
+  g_buffer_mt = true;
+  psim_ = std::make_unique<sim::ParallelSimulation>(
+      std::move(part), num_partitions,
+      std::min(cfg_.sim.threads, num_partitions));
+}
+
 void Engine::obs_setup() {
   if (!obs::kCompiled) return;
   metrics_.configure(cfg_.obs.metrics_enabled, cfg_.obs.snapshot_interval);
@@ -103,7 +208,7 @@ void Engine::obs_setup() {
       gp->tree.set_repair_observer(
           [this, g](const char* op, int node, size_t moves) {
             tracer_.instant(op, "mcast", g->src_worker, obs::kLaneControl,
-                            sim_.now(), 0, "moves",
+                            cur_sim().now(), 0, "moves",
                             static_cast<double>(moves));
             (void)node;
           });
@@ -316,7 +421,7 @@ void Engine::build_runtime() {
   if (cfg_.model_core_contention) {
     for (int n = 0; n < num_workers; ++n) {
       core_pools_.push_back(std::make_unique<sim::CorePool>(
-          sim_, cfg_.cluster.cores_per_node));
+          node_sim(n), cfg_.cluster.cores_per_node));
     }
   }
   auto pool_of = [this](int node) -> sim::CorePool* {
@@ -330,9 +435,9 @@ void Engine::build_runtime() {
     wr->id = w;
     wr->node = w;  // one worker process per node (paper setup)
     wr->send_cpu = std::make_unique<sim::CpuServer>(
-        sim_, "w" + std::to_string(w) + ".send", pool_of(w));
+        node_sim(w), "w" + std::to_string(w) + ".send", pool_of(w));
     wr->recv_cpu = std::make_unique<sim::CpuServer>(
-        sim_, "w" + std::to_string(w) + ".recv", pool_of(w));
+        node_sim(w), "w" + std::to_string(w) + ".recv", pool_of(w));
     wr->transfer_queue = std::make_unique<sim::BoundedQueue<OutMsg>>(
         cfg_.transfer_queue_capacity);
     wr->data_qps.resize(static_cast<size_t>(num_workers));
@@ -365,7 +470,7 @@ void Engine::build_runtime() {
       t->worker = i % num_workers;  // Storm-style round-robin placement
       t->node = workers_[static_cast<size_t>(t->worker)]->node;
       t->cpu = std::make_unique<sim::CpuServer>(
-          sim_, spec.name + "[" + std::to_string(i) + "]",
+          node_sim(t->node), spec.name + "[" + std::to_string(i) + "]",
           pool_of(t->node));
       t->in_queue = std::make_unique<sim::BoundedQueue<Delivery>>(
           cfg_.executor_queue_capacity);
@@ -626,13 +731,13 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
       if (rit != replays_.end()) replays_.erase(rit);
       if (in_window()) {
         ++report_.acked_roots;
-        report_.ack_latency.add(sim_.now() - emit);
+        report_.ack_latency.add(cur_sim().now() - emit);
         if (was_replayed) ++report_.replay_completions;
       }
       if (trace_on() && tracer_.sampled(root)) {
         tracer_.instant("ack.complete", "app",
                         primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
-                        obs::kLaneControl, sim_.now(), root);
+                        obs::kLaneControl, cur_sim().now(), root);
       }
     });
     acker_.set_on_fail([this](uint64_t root) {
@@ -645,9 +750,9 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
     const Duration period = std::min<Duration>(
         sec(1), std::max<Duration>(ms(10), cfg_.ack_timeout / 4));
     loop_async([this, period](auto next) {
-      sim_.schedule_after(period, [this, next] {
-        acker_.expire_older_than(sim_.now() - cfg_.ack_timeout);
-        if (sim_.now() < window_end_) next();
+      cur_sim().schedule_after(period, [this, next] {
+        acker_.expire_older_than(cur_sim().now() - cfg_.ack_timeout);
+        if (cur_sim().now() < window_end_) next();
       });
     });
   }
@@ -657,17 +762,17 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
   }
   arm_faults();
   start_monitoring();
-  sim_.schedule_at(window_start_, [this] { snapshot_at_window_start(); });
+  cur_sim().schedule_at(window_start_, [this] { snapshot_at_window_start(); });
 
   // Metrics snapshots on the simulated-time cadence. Gated on the registry
   // being enabled: a disabled registry schedules ZERO events here, which is
   // what keeps the workload fingerprints (events= included) bit-identical.
   if (metrics_on()) {
-    metrics_.snapshot(sim_.now());
+    metrics_.snapshot(cur_sim().now());
     loop_async([this](auto next) {
-      sim_.schedule_after(metrics_.snapshot_interval(), [this, next] {
-        metrics_.snapshot(sim_.now());
-        if (sim_.now() < window_end_) next();
+      cur_sim().schedule_after(metrics_.snapshot_interval(), [this, next] {
+        metrics_.snapshot(cur_sim().now());
+        if (cur_sim().now() < window_end_) next();
       });
     });
   }
@@ -691,14 +796,23 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
       }
     }
     loop_async([this](auto next) {
-      sim_.schedule_after(cfg_.state.checkpoint_interval, [this, next] {
+      cur_sim().schedule_after(cfg_.state.checkpoint_interval, [this, next] {
         checkpoint_tick();
-        if (sim_.now() < window_end_) next();
+        if (cur_sim().now() < window_end_) next();
       });
     });
   }
 
-  sim_.run_until(window_end_);
+  if (psim_) {
+    // Stop the world at the window start so the snapshot callback (and any
+    // exact-boundary event) executes with every partition quiesced, then
+    // run the measurement window. Both calls are the same two-phase
+    // windowed protocol; the intermediate barrier costs one extra round.
+    psim_->run_until(window_start_);
+    psim_->run_until(window_end_);
+  } else {
+    sim_.run_until(window_end_);
+  }
   finalize_report(measure);
   obs_finalize();
   return report_;
@@ -723,16 +837,22 @@ void Engine::start_monitoring() {
   // controllers (cfg_.controller.sample_interval).
   if (primary_src_task_ >= 0 || !tasks_.empty()) {
     const int src = primary_src_task_ >= 0 ? primary_src_task_ : 0;
-    loop_async([this, src](auto next) {
-      sim_.schedule_after(ms(1), [this, src, next] {
+    // The sampler reads the source task's in-queue, so on parallel runs it
+    // must live on that task's partition; the report fields it bumps are
+    // shared, hence the guard.
+    sim::Simulation* src_sim =
+        &node_sim(tasks_[static_cast<size_t>(src)]->node);
+    loop_async([this, src, src_sim](auto next) {
+      src_sim->schedule_after(ms(1), [this, src, next] {
         if (in_window()) {
           const auto& q = *tasks_[static_cast<size_t>(src)]->in_queue;
+          auto lk = shared_guard();
           queue_len_accum_ += static_cast<double>(q.size());
           ++queue_samples_;
           report_.transfer_queue_max =
               std::max(report_.transfer_queue_max, q.size());
         }
-        if (sim_.now() < window_end_) next();
+        if (cur_sim().now() < window_end_) next();
       });
     });
   }
@@ -741,9 +861,9 @@ void Engine::start_monitoring() {
     if (!gp->controller) continue;
     McastGroup* g = gp.get();
     loop_async([this, g](auto next) {
-      sim_.schedule_after(cfg_.controller.sample_interval, [this, g, next] {
+      cur_sim().schedule_after(cfg_.controller.sample_interval, [this, g, next] {
         controller_sample(*g);
-        if (sim_.now() < window_end_) next();
+        if (cur_sim().now() < window_end_) next();
       });
     });
   }
@@ -871,7 +991,7 @@ void Engine::finalize_report(Duration measure) {
       if (qp) report_.tuples_lost += qp->packets_lost();
     }
     // Nodes still down at the end of the run contribute their residual.
-    if (wp->down) report_.downtime_total += sim_.now() - wp->down_since;
+    if (wp->down) report_.downtime_total += cur_sim().now() - wp->down_since;
   }
 
   // Per-stream routing rows: active strategy + window load spread over
@@ -901,7 +1021,8 @@ void Engine::finalize_report(Duration measure) {
     report_.stream_routing.push_back(std::move(sr));
   }
 
-  report_.sim_events = sim_.events_processed();
+  report_.sim_events =
+      psim_ ? psim_->events_processed() : sim_.events_processed();
 }
 
 // ---------------------------------------------------------------------------
@@ -912,33 +1033,34 @@ void Engine::schedule_arrival(int task) {
   auto& t = *tasks_[static_cast<size_t>(task)];
   const auto& op = topo_.ops[static_cast<size_t>(t.op)];
   const double rate =
-      op.rate.rate_at(sim_.now()) / static_cast<double>(op.parallelism);
+      op.rate.rate_at(cur_sim().now()) / static_cast<double>(op.parallelism);
   if (rate <= 0.0) {
     // Idle spout: poll again soon in case a rate step begins.
-    sim_.schedule_after(ms(10), [this, task] { schedule_arrival(task); });
+    cur_sim().schedule_after(ms(10), [this, task] { schedule_arrival(task); });
     return;
   }
   const Duration gap = from_seconds(rng_.exponential(rate));
-  sim_.schedule_after(gap, [this, task] {
+  cur_sim().schedule_after(gap, [this, task] {
     auto& tk = *tasks_[static_cast<size_t>(task)];
     if (workers_[static_cast<size_t>(tk.worker)]->down) {
       // Crashed worker emits nothing; keep polling so the spout resumes
       // after a restart.
-      if (sim_.now() < window_end_) schedule_arrival(task);
+      if (cur_sim().now() < window_end_) schedule_arrival(task);
       return;
     }
-    auto tuple = std::make_shared<dsps::Tuple>(tk.spout->next(rng_));
+    auto tuple = std::allocate_shared<dsps::Tuple>(
+        SlabAllocator<dsps::Tuple>{}, tk.spout->next(rng_));
     auto* mut = const_cast<dsps::Tuple*>(tuple.get());
     mut->root_id = next_root_id_++;
-    mut->root_emit_time = sim_.now();
+    mut->root_emit_time = cur_sim().now();
     if (in_window()) ++report_.roots_emitted;
     if (c_roots_) c_roots_->inc();
     if (trace_on() && tracer_.sampled(mut->root_id)) {
       tracer_.instant("spout.emit", "app", tk.worker, obs::kLaneApp,
-                      sim_.now(), mut->root_id);
+                      cur_sim().now(), mut->root_id);
     }
     if (cfg_.enable_acking) {
-      acker_.root_emitted(mut->root_id, sim_.now());
+      acker_.root_emitted(mut->root_id, cur_sim().now());
       // Checkpoint recovery replaces the acker's timeout replay for this
       // run: rewind comes from the epoch log, not the replay buffer.
       const bool ckpt_replay = state_on() && cfg_.state.recover_from_checkpoint;
@@ -957,10 +1079,10 @@ void Engine::schedule_arrival(int task) {
     // Stream-rate monitoring for the self-adjusting controller.
     for (auto& g : groups_) {
       if (g->src_task == task && g->stream_monitor) {
-        g->stream_monitor->record_arrival(sim_.now());
+        g->stream_monitor->record_arrival(cur_sim().now());
       }
     }
-    if (sim_.now() < window_end_) schedule_arrival(task);
+    if (cur_sim().now() < window_end_) schedule_arrival(task);
   });
 }
 
@@ -1058,14 +1180,15 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
   if (!t.spout &&
       topo_.streams[tuple->stream].grouping == dsps::Grouping::kAll) {
     if (in_window()) {
+      auto lk = shared_guard();
       ++mcast_processed_per_stream_[tuple->stream];
       report_.tput_series.add(
-          sim_.now(),
+          cur_sim().now(),
           1.0 / stream_dst_count_[tuple->stream]);
     }
   }
   Duration cost;
-  std::vector<std::pair<size_t, dsps::Tuple>> emissions;
+  dsps::Emissions emissions;
   if (t.spout) {
     cost = t.spout->emit_cost();
     emissions.emplace_back(0, *tuple);
@@ -1087,15 +1210,16 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
     if (op.out_streams.empty()) {
       // Sink operator: completion of this tuple's processing.
       if (in_window()) {
+        auto lk = shared_guard();
         ++report_.sink_completions;
-        const Duration lat = sim_.now() - tuple->root_emit_time;
+        const Duration lat = cur_sim().now() - tuple->root_emit_time;
         report_.processing_latency.add(lat);
-        report_.lat_sum_series.add(sim_.now(), static_cast<double>(lat));
-        report_.lat_cnt_series.add(sim_.now(), 1.0);
+        report_.lat_sum_series.add(cur_sim().now(), static_cast<double>(lat));
+        report_.lat_cnt_series.add(cur_sim().now(), 1.0);
       }
       if (c_sink_) c_sink_->inc();
       if (h_sink_latency_) {
-        h_sink_latency_->add(sim_.now() - tuple->root_emit_time);
+        h_sink_latency_->add(cur_sim().now() - tuple->root_emit_time);
       }
       // Exactly-once bookkeeping: pending until this sink's next barrier
       // seals the epoch; committed with the epoch's snapshot.
@@ -1118,7 +1242,7 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
        emissions = std::move(emissions)]() mutable {
         if (trace_on() && tracer_.sampled(root)) {
           tracer_.complete(span_name, "app", traw->worker, obs::kLaneApp,
-                           sim_.now() - cost, cost, root);
+                           cur_sim().now() - cost, cost, root);
         }
         route_emissions(
             *traw, std::move(emissions),
@@ -1138,28 +1262,24 @@ void Engine::process_tuple(TaskRt& t, Delivery d) {
       });
 }
 
-void Engine::route_emissions(
-    TaskRt& t, std::vector<std::pair<size_t, dsps::Tuple>> emissions,
-    std::function<void()> done) {
+void Engine::route_emissions(TaskRt& t, dsps::Emissions emissions,
+                             InlineFunction done) {
   if (emissions.empty()) {
     done();
     return;
   }
   // Process emissions sequentially: each may involve serialization jobs and
-  // transfer-queue waits on this executor.
-  auto remaining =
-      std::make_shared<std::vector<std::pair<size_t, dsps::Tuple>>>(
-          std::move(emissions));
-  auto idx = std::make_shared<size_t>(0);
+  // transfer-queue waits on this executor. The list and cursor live in the
+  // loop's slab-held state — no shared_ptr bookkeeping per tuple.
   TaskRt* traw = &t;
-  loop_async([this, traw, remaining, idx,
-              done = std::move(done)](auto next) {
-    if (*idx >= remaining->size()) {
+  loop_async([this, traw, remaining = std::move(emissions), idx = size_t{0},
+              done = std::move(done)](auto next) mutable {
+    if (idx >= remaining.size()) {
       done();
       return;
     }
-    auto& [out_idx, tuple] = (*remaining)[*idx];
-    ++*idx;
+    auto& [out_idx, tuple] = remaining[idx];
+    ++idx;
     const auto& op = topo_.ops[static_cast<size_t>(traw->op)];
     if (out_idx >= op.out_streams.size()) {
       next();  // emission on a nonexistent stream: drop silently
@@ -1171,10 +1291,11 @@ void Engine::route_emissions(
 }
 
 void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
-                           std::function<void()> done) {
+                           InlineFunction done) {
   const auto& s = topo_.streams[static_cast<size_t>(stream)];
   tuple.stream = static_cast<uint32_t>(stream);
-  auto tup = std::make_shared<const dsps::Tuple>(std::move(tuple));
+  auto tup = std::allocate_shared<const dsps::Tuple>(
+      SlabAllocator<dsps::Tuple>{}, std::move(tuple));
   auto& strat = *t.strategies[out_index(t.op, stream)];
 
   if (strat.broadcast()) {
@@ -1189,13 +1310,15 @@ void Engine::send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
       mcast_track_start(tup->root_id, tup->root_emit_time,
                         static_cast<uint32_t>(dsts.size()));
     }
-    send_point_to_point(t, std::move(tup), dsts, std::move(done));
+    send_point_to_point(t, std::move(tup),
+                        PooledVec<int>(dsts.begin(), dsts.end()),
+                        std::move(done));
     return;
   }
 
   const auto& dst_tasks = op_tasks_[static_cast<size_t>(s.to_op)];
   const int dst = dst_tasks[strat.select(*tup, dst_tasks.size())];
-  send_point_to_point(t, std::move(tup), {dst}, std::move(done));
+  send_point_to_point(t, std::move(tup), PooledVec<int>{dst}, std::move(done));
 }
 
 void Engine::deliver_local(TaskRt& dst,
@@ -1231,7 +1354,10 @@ void Engine::deliver_local(TaskRt& dst,
       schedule_epoch_abort(state::barrier_epoch(*tup));
       return;
     }
-    if (in_window()) ++report_.queue_rejects;
+    if (in_window()) {
+      auto lk = shared_guard();
+      ++report_.queue_rejects;
+    }
     if (c_queue_rejects_) c_queue_rejects_->inc();
     // A dropped tuple instance can never be acked: fail the whole root
     // (Storm would replay it after the message timeout).
@@ -1263,8 +1389,8 @@ uint64_t Engine::take_edge(uint64_t root, int task) {
 
 void Engine::send_point_to_point(TaskRt& t,
                                  std::shared_ptr<const dsps::Tuple> tup,
-                                 std::vector<int> dsts,
-                                 std::function<void()> done) {
+                                 PooledVec<int> dsts,
+                                 InlineFunction done) {
   auto& w = *workers_[static_cast<size_t>(t.worker)];
   const bool bar = state_on() && state::is_barrier(*tup);
   if (cfg_.enable_acking) {
@@ -1274,7 +1400,7 @@ void Engine::send_point_to_point(TaskRt& t,
   }
 
   // Local destinations skip serde entirely (Storm does the same).
-  std::vector<int> remote;
+  PooledVec<int> remote;
   size_t local_count = 0;
   for (int d : dsts) {
     auto& dt = *tasks_[static_cast<size_t>(d)];
@@ -1294,15 +1420,18 @@ void Engine::send_point_to_point(TaskRt& t,
     // Per-tuple communication tracking (Figs. 25/26) for the all-grouped
     // stream's source instance. Barriers (root 0) are never sampled.
     const auto& sspec = topo_.streams[tup->stream];
-    const bool tracked =
+    bool tracked =
         sspec.grouping == dsps::Grouping::kAll &&
         traw->id == primary_src_task_ && tup->root_id != 0 &&
-        (tup->root_id % cfg_.tuple_sample_stride) == 0 && in_window() &&
-        comm_tracks_.size() < kMaxTrackedTuples;
+        (tup->root_id % cfg_.tuple_sample_stride) == 0 && in_window();
     if (tracked) {
-      comm_tracks_[tup->root_id] =
-          CommTrack{sim_.now(), sim_.now(), 0.0,
-                    static_cast<uint32_t>(remote.size()), true};
+      auto lk = shared_guard();
+      tracked = comm_tracks_.size() < kMaxTrackedTuples;
+      if (tracked) {
+        comm_tracks_[tup->root_id] =
+            CommTrack{cur_sim().now(), cur_sim().now(), 0.0,
+                      static_cast<uint32_t>(remote.size()), true};
+      }
     }
     const uint64_t track_root = tracked ? tup->root_id : 0;
 
@@ -1311,15 +1440,14 @@ void Engine::send_point_to_point(TaskRt& t,
       // sequentially on this executor — the paper's Fig. 2 bottleneck.
       // Both the serialization and the multi-layer packet processing are
       // charged to the upstream instance, matching Fig. 2d's breakdown.
-      auto idx = std::make_shared<size_t>(0);
-      auto rem = std::make_shared<std::vector<int>>(std::move(remote));
-      loop_async([this, traw, tup, idx, rem, track_root, bar,
-                  done = std::move(done), &w](auto next) {
-        if (*idx >= rem->size()) {
+      loop_async([this, traw, tup, idx = size_t{0}, rem = std::move(remote),
+                  track_root, bar,
+                  done = std::move(done), &w](auto next) mutable {
+        if (idx >= rem.size()) {
           done();
           return;
         }
-        const int d = (*rem)[(*idx)++];
+        const int d = rem[idx++];
         // Encode straight into a pooled block; the envelope header is
         // prepended in place (no payload copy, no per-message allocation
         // once the pool is warm).
@@ -1328,6 +1456,7 @@ void Engine::send_point_to_point(TaskRt& t,
         Bytes bytes = frame(MsgKind::kInstanceData, 0, std::move(pw));
         const Duration ser = cfg_.cost.ser_time(bytes->size());
         if (track_root) {
+          auto lk = shared_guard();
           auto it = comm_tracks_.find(track_root);
           if (it != comm_tracks_.end()) {
             it->second.ser_ns += static_cast<double>(ser);
@@ -1339,7 +1468,7 @@ void Engine::send_point_to_point(TaskRt& t,
              bar, root = tup->root_id, &w] {
               if (trace_on() && tracer_.sampled(root)) {
                 tracer_.complete("serialize", "app", traw->worker,
-                                 obs::kLaneApp, sim_.now() - ser, ser, root);
+                                 obs::kLaneApp, cur_sim().now() - ser, ser, root);
               }
               const auto [send_cost, send_cat] = source_send_cost(
                   bytes->size());
@@ -1350,7 +1479,7 @@ void Engine::send_point_to_point(TaskRt& t,
                     OutMsg m;
                     m.bytes = std::move(bytes);
                     m.dst_worker = tasks_[static_cast<size_t>(d)]->worker;
-                    m.enqueued = sim_.now();
+                    m.enqueued = cur_sim().now();
                     m.root_id = track_root;
                     m.src_task = traw->id;
                     m.barrier = bar;
@@ -1364,7 +1493,7 @@ void Engine::send_point_to_point(TaskRt& t,
 
     // Worker-oriented: serialize the body once, then one BatchTuple per
     // destination worker carrying that worker's local task ids.
-    std::vector<std::vector<int32_t>> per_worker(workers_.size());
+    PooledVec<PooledVec<int32_t>> per_worker(workers_.size());
     for (int d : remote) {
       per_worker[static_cast<size_t>(tasks_[static_cast<size_t>(d)]->worker)]
           .push_back(d);
@@ -1373,41 +1502,46 @@ void Engine::send_point_to_point(TaskRt& t,
       int worker;
       Bytes bytes;
     };
-    auto targets = std::make_shared<std::vector<Target>>();
+    PooledVec<Target> targets;
     for (size_t wk = 0; wk < per_worker.size(); ++wk) {
       if (per_worker[wk].empty()) continue;
       PoolWriter pw(tup->approx_bytes() + 40 + per_worker[wk].size() * 2,
                     kFrameHeadroom);
       dsps::TupleSerde::encode_batch_into(pw, per_worker[wk], *tup);
-      targets->push_back(Target{static_cast<int>(wk),
-                                frame(MsgKind::kBatchData, 0, std::move(pw))});
+      targets.push_back(Target{static_cast<int>(wk),
+                               frame(MsgKind::kBatchData, 0, std::move(pw))});
     }
     const Duration first_ser =
         cfg_.cost.ser_time(dsps::TupleSerde::body_size(*tup));
     if (track_root) {
+      auto lk = shared_guard();
       auto it = comm_tracks_.find(track_root);
       if (it != comm_tracks_.end()) {
         it->second.ser_ns = static_cast<double>(first_ser);
-        it->second.outstanding = static_cast<uint32_t>(targets->size());
+        it->second.outstanding = static_cast<uint32_t>(targets.size());
       }
     }
-    auto idx = std::make_shared<size_t>(0);
-    loop_async([this, traw, targets, idx, first_ser, track_root, bar,
-                root = tup->root_id, done = std::move(done), &w](auto next) {
-      if (*idx >= targets->size()) {
+    // The target list parks in the loop's slab state; the inner lambdas
+    // reference entries by address, which stay stable because the state
+    // block never relocates.
+    loop_async([this, traw, targets = std::move(targets), idx = size_t{0},
+                first_ser, track_root, bar,
+                root = tup->root_id, done = std::move(done),
+                &w](auto next) mutable {
+      if (idx >= targets.size()) {
         done();
         return;
       }
-      auto& tgt = (*targets)[(*idx)++];
+      auto& tgt = targets[idx++];
       // The data item is serialized once; subsequent workers only pay the
       // BatchTuple header packaging cost.
-      const Duration d = (*idx == 1) ? first_ser : cfg_.woc_header_cost;
+      const Duration d = (idx == 1) ? first_ser : cfg_.woc_header_cost;
       traw->cpu->execute(
           d, sim::CpuCategory::kSerialization,
           [this, traw, &tgt, next, track_root, bar, d, root, &w] {
             if (trace_on() && tracer_.sampled(root)) {
               tracer_.complete("serialize", "app", traw->worker,
-                               obs::kLaneApp, sim_.now() - d, d, root);
+                               obs::kLaneApp, cur_sim().now() - d, d, root);
             }
             const auto [send_cost, send_cat] =
                 source_send_cost(tgt.bytes->size());
@@ -1416,7 +1550,7 @@ void Engine::send_point_to_point(TaskRt& t,
                                  OutMsg m;
                                  m.bytes = tgt.bytes;
                                  m.dst_worker = tgt.worker;
-                                 m.enqueued = sim_.now();
+                                 m.enqueued = cur_sim().now();
                                  m.root_id = track_root;
                                  m.src_task = traw->id;
                                  m.barrier = bar;
@@ -1431,7 +1565,7 @@ void Engine::send_point_to_point(TaskRt& t,
   if (local_count > 0) {
     const Duration d = cfg_.cost.local_enqueue *
                        static_cast<Duration>(local_count);
-    std::vector<int> locals;
+    PooledVec<int> locals;
     for (int dd : dsts) {
       if (tasks_[static_cast<size_t>(dd)]->worker == t.worker) {
         locals.push_back(dd);
@@ -1453,7 +1587,7 @@ void Engine::send_point_to_point(TaskRt& t,
 
 void Engine::send_mcast(TaskRt& t, McastGroup& g,
                         std::shared_ptr<const dsps::Tuple> tup,
-                        std::function<void()> done) {
+                        InlineFunction done) {
   auto& w = *workers_[static_cast<size_t>(t.worker)];
   const uint64_t root = tup->root_id;
   const bool bar = state_on() && state::is_barrier(*tup);
@@ -1474,9 +1608,12 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
     mcast_track_start(root, tup->root_emit_time,
                       static_cast<uint32_t>(g.total_dst_instances));
   }
-  if (tracked && in_window() && comm_tracks_.size() < kMaxTrackedTuples) {
-    comm_tracks_[root] = CommTrack{sim_.now(), sim_.now(),
-                                   static_cast<double>(ser), 0, false};
+  if (tracked && in_window()) {
+    auto lk = shared_guard();
+    if (comm_tracks_.size() < kMaxTrackedTuples) {
+      comm_tracks_[root] = CommTrack{cur_sim().now(), cur_sim().now(),
+                                     static_cast<double>(ser), 0, false};
+    }
   }
 
   // Feed the t_s / t_d monitors with the actual charged costs (the paper's
@@ -1511,7 +1648,7 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
                                                          &w]() mutable {
     if (trace_on() && tracer_.sampled(root)) {
       tracer_.complete("serialize", "app", traw->worker, obs::kLaneApp,
-                       sim_.now() - ser, ser, root);
+                       cur_sim().now() - ser, ser, root);
     }
     // Local dispatch to destination instances hosted with the source.
     const auto& locals =
@@ -1523,23 +1660,28 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
 
     // Relay to the source's direct cascading endpoints, one scheduling
     // charge per child (the d0 * t_d term of the queue model).
-    const auto children = graw->tree.children(0);
-    auto idx = std::make_shared<size_t>(0);
-    auto ct = comm_tracks_.find(root);
-    if (ct != comm_tracks_.end()) {
-      if (children.empty()) {
-        comm_tracks_.erase(ct);  // purely local delivery: no communication
-      } else {
-        ct->second.outstanding = static_cast<uint32_t>(children.size());
+    // Snapshot the child list (the tree may be reconfigured mid-flight);
+    // the single copy lands directly in the loop state below.
+    std::vector<int> children = graw->tree.children(0);
+    {
+      auto lk = shared_guard();
+      auto ct = comm_tracks_.find(root);
+      if (ct != comm_tracks_.end()) {
+        if (children.empty()) {
+          comm_tracks_.erase(ct);  // purely local delivery: no communication
+        } else {
+          ct->second.outstanding = static_cast<uint32_t>(children.size());
+        }
       }
     }
     loop_async([this, traw, graw, root, tracked, bar, framed, body, body_len,
-                idx, children, done = std::move(done), &w](auto next) {
-      if (*idx >= children.size()) {
+                idx = size_t{0}, children = std::move(children),
+                done = std::move(done), &w](auto next) mutable {
+      if (idx >= children.size()) {
         done();
         return;
       }
-      const int child_ep = children[(*idx)++];
+      const int child_ep = children[idx++];
       // Each cascading destination costs the source its scheduling time
       // plus the transport's per-channel send cost — the d0 * t_d term
       // that makes large out-degrees choke the source (Eq. 1).
@@ -1557,7 +1699,7 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
             m.dst_worker = graw->worker_level
                                ? ep
                                : tasks_[static_cast<size_t>(ep)]->worker;
-            m.enqueued = sim_.now();
+            m.enqueued = cur_sim().now();
             m.root_id = tracked ? root : 0;
             m.src_task = traw->id;
             m.barrier = bar;
@@ -1568,22 +1710,22 @@ void Engine::send_mcast(TaskRt& t, McastGroup& g,
   });
 }
 
-void Engine::push_out(WorkerRt& w, OutMsg msg, std::function<void()> done) {
+void Engine::push_out(WorkerRt& w, OutMsg msg, InlineFunction done) {
   WorkerRt* wr = &w;
-  auto m = std::make_shared<OutMsg>(std::move(msg));
-  loop_async([this, wr, m, done = std::move(done)](auto next) {
+  loop_async([this, wr, m = std::move(msg),
+              done = std::move(done)](auto next) mutable {
     if (wr->down) {
       // The producing worker died (possibly while blocked on a full
       // queue): the message is lost but the executor chain must unwind.
       // Lost barriers are not data losses; the epoch aborts instead.
-      if (!m->barrier) {
+      if (!m.barrier) {
         ++tuples_lost_;
-        if (c_lost_ && !m->control) c_lost_->inc();
+        if (c_lost_ && !m.control) c_lost_->inc();
       }
       done();
       return;
     }
-    if (wr->transfer_queue->try_push(*m)) {
+    if (wr->transfer_queue->try_push(m)) {
       pump_worker(*wr);
       done();
       return;
@@ -1701,10 +1843,10 @@ void Engine::transmit_out(WorkerRt& w, OutMsg msg) {
             cfg_.cost.local_enqueue, sim::CpuCategory::kDispatch,
             [this, wr, dst_worker, pkt = std::move(pkt), resume]() mutable {
               auto& qp = data_qp(wr->id, dst_worker);
-              auto b = std::make_shared<rdma::Bundle>();
-              b->push_back(std::move(pkt));
-              loop_async([&qp, b, resume](auto next) {
-                if (qp.transmit(*b)) {
+              rdma::Bundle b;
+              b.push_back(std::move(pkt));
+              loop_async([&qp, b = std::move(b), resume](auto next) mutable {
+                if (qp.transmit(b)) {
                   resume();
                 } else {
                   qp.wait_for_space([next] { next(); });
@@ -1787,10 +1929,11 @@ void Engine::dispatch_instance(WorkerRt& w, rdma::Packet pkt) {
         const Envelope env = peek(*pkt.bytes);
         auto m = dsps::TupleSerde::decode_instance_message(
             payload_of(*pkt.bytes, env));
-        auto tup = std::make_shared<const dsps::Tuple>(std::move(m.tuple));
+        auto tup = std::allocate_shared<const dsps::Tuple>(
+            SlabAllocator<dsps::Tuple>{}, std::move(m.tuple));
         if (trace_on() && tracer_.sampled(tup->root_id)) {
           tracer_.complete("dispatch", "recv", wr->id, obs::kLaneRecv,
-                           sim_.now() - cost, cost, tup->root_id);
+                           cur_sim().now() - cost, cost, tup->root_id);
         }
         deliver_local(*tasks_[static_cast<size_t>(m.dst_task)],
                       std::move(tup), pkt.src_task, pkt.gen);
@@ -1810,12 +1953,12 @@ void Engine::dispatch_batch(WorkerRt& w, rdma::Packet pkt) {
   WorkerRt* wr = &w;
   w.recv_cpu->execute(cost, sim::CpuCategory::kSerialization,
                       [this, wr, cost, src = pkt.src_task, gen = pkt.gen,
-                       m = std::move(m)] {
-                        auto tup = std::make_shared<const dsps::Tuple>(
-                            std::move(m.tuple));
+                       m = std::move(m)]() mutable {
+                        auto tup = std::allocate_shared<const dsps::Tuple>(
+                            SlabAllocator<dsps::Tuple>{}, std::move(m.tuple));
                         if (trace_on() && tracer_.sampled(tup->root_id)) {
                           tracer_.complete("dispatch", "recv", wr->id,
-                                           obs::kLaneRecv, sim_.now() - cost,
+                                           obs::kLaneRecv, cur_sim().now() - cost,
                                            cost, tup->root_id);
                         }
                         for (int32_t d : m.dst_tasks) {
@@ -1847,11 +1990,11 @@ void Engine::dispatch_mcast(WorkerRt& w, rdma::Packet pkt,
       deser, sim::CpuCategory::kSerialization,
       [this, wr, graw, ep, deser, pkt = std::move(pkt), e] {
         ByteReader r(payload_of(*pkt.bytes, e));
-        auto tup = std::make_shared<const dsps::Tuple>(
-            dsps::TupleSerde::decode_body(r));
+        auto tup = std::allocate_shared<const dsps::Tuple>(
+            SlabAllocator<dsps::Tuple>{}, dsps::TupleSerde::decode_body(r));
         if (trace_on() && tracer_.sampled(tup->root_id)) {
           tracer_.complete("dispatch", "recv", wr->id, obs::kLaneRecv,
-                           sim_.now() - deser, deser, tup->root_id);
+                           cur_sim().now() - deser, deser, tup->root_id);
         }
         if (graw->worker_level) {
           const auto& locals =
@@ -1888,7 +2031,7 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
     const int ep = g.endpoints[static_cast<size_t>(child_ep)];
     m.dst_worker =
         g.worker_level ? ep : tasks_[static_cast<size_t>(ep)]->worker;
-    m.enqueued = sim_.now();
+    m.enqueued = cur_sim().now();
     m.relay = true;
     m.src_task = pkt.src_task;
     m.barrier = pkt.barrier;
@@ -1908,7 +2051,7 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
       w.recv_cpu->execute(fwd, sim::CpuCategory::kDispatch,
                           [this, wr, fwd, root] {
                             tracer_.complete("relay.forward", "recv", wr->id,
-                                             obs::kLaneRecv, sim_.now() - fwd,
+                                             obs::kLaneRecv, cur_sim().now() - fwd,
                                              fwd, root);
                           });
     } else {
@@ -1924,31 +2067,41 @@ void Engine::relay_mcast(WorkerRt& w, McastGroup& g, int my_endpoint,
 // ---------------------------------------------------------------------------
 
 void Engine::mcast_track_start(uint64_t root_id, Time emit, uint32_t total) {
+  auto lk = shared_guard();
   if (mcast_tracks_.size() >= kMaxTrackedTuples) return;
-  mcast_tracks_[root_id] = McastTrack{emit, total};
+  mcast_tracks_[root_id] = McastTrack{emit, 0, total};
 }
 
 void Engine::mcast_track_received(uint64_t root_id) {
+  auto lk = shared_guard();
   auto it = mcast_tracks_.find(root_id);
   if (it == mcast_tracks_.end()) return;
+  // Receptions on different partitions can report out of simulated-time
+  // order; the completion time is the max over all of them, which is
+  // exactly the serial "clock at the last reception".
+  it->second.max_recv = std::max(it->second.max_recv, cur_sim().now());
   if (--it->second.remaining_recv == 0) {
     // Every destination instance has received the tuple (Sec. 5.1's
     // multicast-latency definition).
-    if (in_window()) {
-      report_.multicast_latency.add(sim_.now() - it->second.emit);
+    const Time done = it->second.max_recv;
+    if (done >= window_start_ && done < window_end_) {
+      report_.multicast_latency.add(done - it->second.emit);
     }
     mcast_tracks_.erase(it);
   }
 }
 
 void Engine::comm_track_delivery(uint64_t root_id) {
+  auto lk = shared_guard();
   auto it = comm_tracks_.find(root_id);
   if (it == comm_tracks_.end()) return;
   auto& ct = it->second;
-  ct.last = sim_.now();
+  // Same max-completion rule as mcast_track_received: deliveries arrive
+  // from several partitions in arbitrary call order.
+  ct.last = std::max(ct.last, cur_sim().now());
   if (ct.outstanding > 0) --ct.outstanding;
   if (ct.outstanding == 0) {
-    if (in_window()) {
+    if (ct.last >= window_start_ && ct.last < window_end_) {
       const Duration comm = ct.last - ct.start;
       report_.comm_time.add(comm);
       // Streaming means for the serialization share.
@@ -1973,7 +2126,7 @@ void Engine::controller_sample(McastGroup& g) {
   if (g.barrier_pending > 0) return;
   if (workers_[static_cast<size_t>(g.src_worker)]->down) return;
   auto& src = *tasks_[static_cast<size_t>(g.src_task)];
-  const double lambda = g.stream_monitor->rate_tps(sim_.now());
+  const double lambda = g.stream_monitor->rate_tps(cur_sim().now());
   const Duration td = g.td_monitor.has_estimate()
                           ? g.td_monitor.estimate()
                           : cfg_.mcast_schedule_per_child;
@@ -2014,7 +2167,7 @@ void Engine::begin_switch(McastGroup& g,
   }
 
   g.switching = true;
-  g.switch_start = sim_.now();
+  g.switch_start = cur_sim().now();
   g.acks_needed = moves.size();
   g.acks_got = 0;
 
@@ -2048,7 +2201,7 @@ void Engine::send_reconfigure(McastGroup& g, int dst_worker) {
   hw.put_u8(kReconfigure);
   auto v = hw.take();
   v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
-  rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
+  rdma::Packet pkt{make_bytes(std::move(v)), cur_sim().now(), 0};
   if (cfg_.variant.rdma()) {
     ctrl_qp(g.src_worker, dst_worker).transmit(rdma::Bundle{std::move(pkt)});
   } else {
@@ -2071,7 +2224,7 @@ void Engine::send_control(int src_worker, int dst_worker, uint32_t group,
   hw.put_u8(kStatus);
   auto v = hw.take();
   v.resize(std::max<size_t>(v.size(), cfg_.control_message_bytes), 0);
-  rdma::Packet pkt{make_bytes(std::move(v)), sim_.now(), 0};
+  rdma::Packet pkt{make_bytes(std::move(v)), cur_sim().now(), 0};
   if (src_worker == dst_worker) return;  // nothing to announce locally
   if (cfg_.variant.rdma()) {
     ctrl_qp(src_worker, dst_worker).transmit(rdma::Bundle{std::move(pkt)});
@@ -2097,13 +2250,13 @@ void Engine::handle_control(WorkerRt& w, rdma::Packet pkt) {
   // The endpoint tears down the old connection and establishes the new one
   // (QP creation + handshake), then ACKs to the source.
   WorkerRt* wr = &w;
-  sim_.schedule_after(cfg_.switch_connection_setup, [this, wr, group] {
+  cur_sim().schedule_after(cfg_.switch_connection_setup, [this, wr, group] {
     if (wr->down) return;  // crashed while establishing the connection
     auto& gg = *groups_[group];
     ByteWriter hw(8);
     hw.put_u8(static_cast<uint8_t>(MsgKind::kAck));
     hw.put_varint(group);
-    rdma::Packet ack{make_bytes(hw.take()), sim_.now(), 0};
+    rdma::Packet ack{make_bytes(hw.take()), cur_sim().now(), 0};
     if (cfg_.variant.rdma()) {
       ctrl_qp(wr->id, gg.src_worker).transmit(rdma::Bundle{std::move(ack)});
     } else {
@@ -2201,7 +2354,7 @@ void Engine::on_node_crash(int node) {
   if (w.down) return;
   ++report_.node_crashes;
   w.down = true;
-  w.down_since = sim_.now();
+  w.down_since = cur_sim().now();
   w.sending = false;
   w.pump_waiting = false;
   w.stalled = false;
@@ -2281,7 +2434,7 @@ void Engine::on_node_restart(int node) {
   auto& w = *workers_[static_cast<size_t>(node)];
   if (!w.down) return;
   ++report_.node_restarts;
-  report_.downtime_total += sim_.now() - w.down_since;
+  report_.downtime_total += cur_sim().now() - w.down_since;
   w.down = false;
   w.paused = false;  // any pause it owed died with the old process
   fabric_->set_node_up(node, true);
@@ -2314,7 +2467,7 @@ void Engine::on_node_restart(int node) {
       // restarted node's receive CPU posts it, the host CPU stays idle.
       if (trace_on()) {
         tracer_.instant("state.restore.read", "fault", node,
-                        obs::kLaneControl, sim_.now(), 0, "bytes",
+                        obs::kLaneControl, cur_sim().now(), 0, "bytes",
                         static_cast<double>(
                             remote_state_->committed_bytes_total()));
       }
@@ -2327,11 +2480,11 @@ void Engine::on_node_restart(int node) {
           cfg_.state.store_read_latency);
       if (trace_on()) {
         tracer_.complete("state.restore", "fault", node, obs::kLaneControl,
-                         sim_.now(), restore, 0, "bytes",
+                         cur_sim().now(), restore, 0, "bytes",
                          static_cast<double>(
                              checkpoints_.committed_bytes_total()));
       }
-      sim_.schedule_after(restore, [this, gen] {
+      cur_sim().schedule_after(restore, [this, gen] {
         if (gen == recovery_gen_) do_recover();
       });
     }
@@ -2383,7 +2536,7 @@ void Engine::maybe_start_repair(McastGroup& g) {
   const auto moves = g.tree.repair(dead_ep, repair_dstar(g));
   ++report_.tree_repairs;
   report_.repair_moves += moves.size();
-  g.repair_start = sim_.now();
+  g.repair_start = cur_sim().now();
   g.repair_acks_needed = 0;
   g.repair_acks_got = 0;
   g.repair_pending_workers.clear();
@@ -2408,7 +2561,7 @@ void Engine::maybe_start_repair(McastGroup& g) {
 
 void Engine::finish_repair(McastGroup& g) {
   g.repairing = false;
-  const Duration took = sim_.now() - g.repair_start;
+  const Duration took = cur_sim().now() - g.repair_start;
   report_.repair_time_total += took;
   report_.repair_time_max = std::max(report_.repair_time_max, took);
   if (trace_on()) {
@@ -2435,8 +2588,8 @@ void Engine::maybe_replay(uint64_t root) {
   auto& tk = *tasks_[static_cast<size_t>(task)];
   if (workers_[static_cast<size_t>(tk.worker)]->down) {
     // The spout's own worker is down; try again once it may be back.
-    if (sim_.now() < window_end_) {
-      sim_.schedule_after(ms(50), [this, root] { maybe_replay(root); });
+    if (cur_sim().now() < window_end_) {
+      cur_sim().schedule_after(ms(50), [this, root] { maybe_replay(root); });
     }
     return;
   }
@@ -2448,16 +2601,16 @@ void Engine::maybe_replay(uint64_t root) {
   ++it->second.attempts;
   auto tuple = std::make_shared<dsps::Tuple>(it->second.tuple);
   tuple->root_id = root;
-  tuple->root_emit_time = sim_.now();
+  tuple->root_emit_time = cur_sim().now();
   ++report_.replayed_roots;
   // Each replay is a fresh emission instance for conservation purposes:
   // the earlier instance was already written off as lost/dropped.
   if (c_roots_) c_roots_->inc();
   if (trace_on() && tracer_.sampled(root)) {
-    tracer_.instant("replay", "app", tk.worker, obs::kLaneApp, sim_.now(),
+    tracer_.instant("replay", "app", tk.worker, obs::kLaneApp, cur_sim().now(),
                     root);
   }
-  acker_.root_emitted(root, sim_.now());
+  acker_.root_emitted(root, cur_sim().now());
   Delivery rep{tuple, 0};
   rep.gen = recovery_gen_;
   if (!tk.in_queue->try_push(std::move(rep))) {
@@ -2473,13 +2626,13 @@ void Engine::finish_switch(McastGroup& g) {
   g.pending_tree.reset();
   g.controller->confirm(g.pending_dstar);
   g.switching = false;
-  const Duration took = sim_.now() - g.switch_start;
+  const Duration took = cur_sim().now() - g.switch_start;
   if (trace_on()) {
     tracer_.complete("mcast.switch", "mcast", g.src_worker, obs::kLaneControl,
                      g.switch_start, took, 0, "dstar",
                      static_cast<double>(g.pending_dstar));
   }
-  if (in_window() || sim_.now() >= window_start_) {
+  if (in_window() || cur_sim().now() >= window_start_) {
     ++report_.switches_completed;
     report_.switch_time_total += took;
     report_.switch_time_max = std::max(report_.switch_time_max, took);
@@ -2510,8 +2663,8 @@ void Engine::checkpoint_tick() {
 }
 
 void Engine::inject_epoch() {
-  const uint64_t epoch = checkpoints_.begin_epoch(sim_.now());
-  epoch_inject_time_ = sim_.now();
+  const uint64_t epoch = checkpoints_.begin_epoch(cur_sim().now());
+  epoch_inject_time_ = cur_sim().now();
   bool ok = false;
   for (auto& tp : tasks_) {
     if (!tp->spout) continue;
@@ -2533,7 +2686,7 @@ void Engine::inject_epoch() {
   if (trace_on()) {
     tracer_.instant("barrier.inject", "state",
                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
-                    obs::kLaneControl, sim_.now(), epoch);
+                    obs::kLaneControl, cur_sim().now(), epoch);
   }
   if (!ok) abort_epoch();  // no spouts: nothing can ever align
 }
@@ -2541,7 +2694,7 @@ void Engine::inject_epoch() {
 void Engine::schedule_epoch_abort(uint64_t epoch) {
   // Deferred: barrier losses surface deep inside delivery callbacks where
   // aborting (which re-pumps executors) could re-enter the caller.
-  sim_.schedule_after(0, [this, epoch] {
+  cur_sim().schedule_after(0, [this, epoch] {
     if (checkpoints_.in_flight() && checkpoints_.current_epoch() == epoch) {
       abort_epoch();
     }
@@ -2556,7 +2709,7 @@ void Engine::abort_epoch() {
   if (trace_on()) {
     tracer_.instant("epoch.abort", "state",
                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
-                    obs::kLaneControl, sim_.now(), epoch);
+                    obs::kLaneControl, cur_sim().now(), epoch);
   }
   // Lift the tree fences and release every aligning executor.
   for (auto& gp : groups_) {
@@ -2572,7 +2725,7 @@ void Engine::abort_epoch() {
   for (auto& tp : tasks_) {
     auto& t = *tp;
     if (t.aligning) {
-      checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
+      checkpoints_.stats().align_stall_total += cur_sim().now() - t.align_start;
       t.aligning = false;
       t.barriers_from.clear();
     }
@@ -2624,7 +2777,7 @@ void Engine::handle_barrier(TaskRt& t, Delivery d) {
   }
   if (!t.aligning) {
     t.aligning = true;
-    t.align_start = sim_.now();
+    t.align_start = cur_sim().now();
     t.barriers_from.clear();
   }
   t.barriers_from.insert(chan_key(b.stream, state::barrier_src_task(b)));
@@ -2669,14 +2822,14 @@ void Engine::schedule_snapshot_write(TaskRt& t, uint64_t epoch, SnapBlob snap,
   const Duration wr = state::store_transfer_time(
       snap.shipped + channel_bytes, cfg_.state.store_write_gbps,
       cfg_.state.store_write_latency);
-  sim_.schedule_after(wr, [this, task, epoch] {
+  cur_sim().schedule_after(wr, [this, task, epoch] {
     if (checkpoints_.write_complete(task, epoch)) commit_epoch();
   });
 }
 
 void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
   if (t.aligning) {
-    checkpoints_.stats().align_stall_total += sim_.now() - t.align_start;
+    checkpoints_.stats().align_stall_total += cur_sim().now() - t.align_start;
     t.aligning = false;
     t.barriers_from.clear();
   }
@@ -2785,22 +2938,20 @@ void Engine::finalize_capture(TaskRt& t, uint64_t epoch) {
 }
 
 void Engine::forward_barrier(TaskRt& t, uint64_t epoch,
-                             std::function<void()> done) {
+                             InlineFunction done) {
   const auto& op = topo_.ops[static_cast<size_t>(t.op)];
   if (op.out_streams.empty()) {
     done();
     return;
   }
-  auto streams = std::make_shared<std::vector<int>>(op.out_streams);
-  auto idx = std::make_shared<size_t>(0);
   TaskRt* traw = &t;
-  loop_async([this, traw, epoch, streams, idx,
-              done = std::move(done)](auto next) {
-    if (*idx >= streams->size()) {
+  loop_async([this, traw, epoch, streams = op.out_streams, idx = size_t{0},
+              done = std::move(done)](auto next) mutable {
+    if (idx >= streams.size()) {
       done();
       return;
     }
-    const int stream = (*streams)[(*idx)++];
+    const int stream = streams[idx++];
     auto bar = state::make_barrier(epoch, traw->id);
     bar.stream = static_cast<uint32_t>(stream);
     auto tup = std::make_shared<const dsps::Tuple>(std::move(bar));
@@ -2820,8 +2971,9 @@ void Engine::forward_barrier(TaskRt& t, uint64_t epoch,
     }
     const auto& s = topo_.streams[static_cast<size_t>(stream)];
     // Every downstream channel needs the barrier, whatever the grouping.
+    const auto& all = op_tasks_[static_cast<size_t>(s.to_op)];
     send_point_to_point(*traw, std::move(tup),
-                        op_tasks_[static_cast<size_t>(s.to_op)],
+                        PooledVec<int>(all.begin(), all.end()),
                         [next] { next(); });
   });
 }
@@ -2835,7 +2987,7 @@ void Engine::commit_epoch() {
     remote_state_->commit(epoch);
     for (auto& tp : tasks_) tp->store.commit_baseline();
   }
-  checkpoints_.commit(sim_.now());
+  checkpoints_.commit(cur_sim().now());
   const auto& st = checkpoints_.stats();
   if (c_epochs_) {
     c_epochs_->set(st.epochs_completed);
@@ -2847,7 +2999,7 @@ void Engine::commit_epoch() {
     tracer_.complete("checkpoint", "state",
                      primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
                      obs::kLaneControl, epoch_inject_time_,
-                     sim_.now() - epoch_inject_time_, epoch);
+                     cur_sim().now() - epoch_inject_time_, epoch);
   }
   // All barrier copies were consumed before the last snapshot staged, but
   // a fence held by a copy lost to a racing crash must not outlive the
@@ -2923,7 +3075,7 @@ void Engine::do_recover() {
   if (trace_on()) {
     tracer_.instant("state.recovered", "state",
                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
-                    obs::kLaneControl, sim_.now(), committed);
+                    obs::kLaneControl, cur_sim().now(), committed);
   }
   // Re-apply the committed epoch's in-flight channel state (unaligned
   // barriers): these tuples were processed live AFTER the snapshot was
@@ -2961,7 +3113,7 @@ void Engine::replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples) {
     if (*idx >= list->size()) return;
     if (workers_[static_cast<size_t>(st->worker)]->down) return;
     auto tup = std::make_shared<dsps::Tuple>((*list)[*idx]);
-    tup->root_emit_time = sim_.now();
+    tup->root_emit_time = cur_sim().now();
     Delivery d{tup, 0};
     d.replayed = true;
     d.gen = gen;
@@ -2972,10 +3124,10 @@ void Engine::replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples) {
       // (the earlier instance was written off as lost at the rollback).
       if (c_roots_) c_roots_->inc();
       if (c_ckpt_replays_) c_ckpt_replays_->inc();
-      if (cfg_.enable_acking) acker_.root_emitted(tup->root_id, sim_.now());
+      if (cfg_.enable_acking) acker_.root_emitted(tup->root_id, cur_sim().now());
       // One event per injected tuple keeps the recursion flat and lets
       // replay interleave with regular pumping deterministically.
-      sim_.schedule_after(0, [next] { next(); });
+      cur_sim().schedule_after(0, [next] { next(); });
       return;
     }
     st->in_queue->wait_for_space([next] { next(); });

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -36,6 +37,7 @@
 #include "obs/trace.h"
 #include "rdma/verbs.h"
 #include "sim/cpu.h"
+#include "sim/parallel.h"
 #include "sim/queue.h"
 #include "sim/simulation.h"
 #include "state/checkpoint.h"
@@ -57,7 +59,14 @@ class Engine {
   const RunReport& run(Duration warmup, Duration measure);
 
   const RunReport& report() const { return report_; }
-  sim::Simulation& simulation() { return sim_; }
+  // The calling thread's partition simulation on parallel runs (partition 0
+  // outside execution, which post-run readers want); `sim_` on serial runs.
+  sim::Simulation& simulation() {
+    return psim_ ? psim_->current() : sim_;
+  }
+  // True when this run executes on the parallel kernel (cfg.sim.threads
+  // opted in AND the configuration was provably safe to partition).
+  bool parallel() const { return psim_ != nullptr; }
   net::Fabric& fabric() { return *fabric_; }
   const EngineConfig& config() const { return cfg_; }
 
@@ -257,6 +266,7 @@ class Engine {
   // tuples per instance, which stays meaningful under overload.
   struct McastTrack {
     Time emit = 0;
+    Time max_recv = 0;  // latest reception so far (order-independent)
     uint32_t remaining_recv = 0;
   };
   // Per-root-tuple source communication-time tracking (Figs. 25/26).
@@ -279,20 +289,25 @@ class Engine {
   void schedule_arrival(int task);
   void pump_task(TaskRt& t);
   void process_tuple(TaskRt& t, Delivery d);
-  void route_emissions(TaskRt& t,
-                       std::vector<std::pair<size_t, dsps::Tuple>> emissions,
-                       std::function<void()> done);
+  // The `done` continuations ride InlineFunction (slab-backed overflow),
+  // not std::function: the emission chain runs per tuple, and its capture
+  // sizes routinely exceed std::function's tiny inline buffer.
+  void route_emissions(TaskRt& t, dsps::Emissions emissions,
+                       InlineFunction done);
   // Sends one emission (mcast or point-to-point); calls `done` when the
   // task's executor may move on (all messages accepted by the queue).
   void send_emission(TaskRt& t, dsps::Tuple tuple, int stream,
-                     std::function<void()> done);
+                     InlineFunction done);
+  // `dsts` rides a pooled vector: the common shuffle/fields case is a
+  // one-element list built per tuple, which would otherwise be a heap
+  // allocation on every send.
   void send_point_to_point(TaskRt& t, std::shared_ptr<const dsps::Tuple> tup,
-                           std::vector<int> dsts, std::function<void()> done);
+                           PooledVec<int> dsts, InlineFunction done);
   void send_mcast(TaskRt& t, McastGroup& g,
                   std::shared_ptr<const dsps::Tuple> tup,
-                  std::function<void()> done);
+                  InlineFunction done);
   // Pushes to the worker's transfer queue, waiting for space when full.
-  void push_out(WorkerRt& w, OutMsg msg, std::function<void()> done);
+  void push_out(WorkerRt& w, OutMsg msg, InlineFunction done);
   // Per-message send-side cost charged to the SOURCE EXECUTOR (the paper
   // attributes packet processing to the upstream instance, Fig. 2d).
   std::pair<Duration, sim::CpuCategory> source_send_cost(
@@ -372,17 +387,42 @@ class Engine {
                                uint64_t channel_bytes);
   // Emits `epoch`'s barrier on every out-stream of t (its own frames, never
   // batched with data); `done` fires once every copy is queued.
-  void forward_barrier(TaskRt& t, uint64_t epoch, std::function<void()> done);
+  void forward_barrier(TaskRt& t, uint64_t epoch, InlineFunction done);
   void commit_epoch();
   void do_recover();
   void replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples);
 
   // --- metrics ----------------------------------------------------------------
   bool in_window() const {
-    return sim_.now() >= window_start_ && sim_.now() < window_end_;
+    const Time now = cur_sim().now();
+    return now >= window_start_ && now < window_end_;
   }
   void finalize_report(Duration measure);
   void snapshot_at_window_start();
+
+  // --- parallel kernel (src/sim/parallel.h; DESIGN.md §13) -----------------
+  // Decides eligibility, builds the node->partition map and the
+  // ParallelSimulation. Called before the fabric is constructed (the
+  // fabric binds NICs to partitions); the lookahead is derived after.
+  void setup_parallel();
+  // The simulation events on the calling thread must schedule into /
+  // read clocks from: the thread's partition on parallel runs, sim_
+  // otherwise. Hot path cost when serial: one null check.
+  sim::Simulation& cur_sim() const {
+    return psim_ ? psim_->current() : const_cast<Engine*>(this)->sim_;
+  }
+  // The partition simulation owning `node` (sim_ when serial) — for
+  // scheduling work that must execute on a specific node's partition.
+  sim::Simulation& node_sim(int node) {
+    return psim_ ? psim_->node_sim(node) : sim_;
+  }
+  // Guard for report_/track-map updates that several partitions can reach.
+  // Engaged only on parallel runs; serial runs construct an empty (lock-
+  // free) unique_lock, so the serial hot path takes no mutex.
+  std::unique_lock<std::mutex> shared_guard() {
+    return psim_ ? std::unique_lock<std::mutex>(shared_mu_)
+                 : std::unique_lock<std::mutex>();
+  }
 
   // --- observability ----------------------------------------------------------
   void obs_setup();
@@ -392,7 +432,15 @@ class Engine {
   EngineConfig cfg_;
   dsps::Topology topo_;
   sim::Simulation sim_;
+  // Parallel kernel; null on serial runs (the common case). Declared
+  // after sim_ (it supersedes it) and before fabric_ (NICs bind to its
+  // partitions), and destroyed in reverse order — the worker threads
+  // join before anything they touched is torn down.
+  std::unique_ptr<sim::ParallelSimulation> psim_;
   std::unique_ptr<net::Fabric> fabric_;
+  // Serializes cross-partition updates to report_ and the track maps on
+  // parallel runs (see shared_guard()); never taken on serial runs.
+  std::mutex shared_mu_;
   Rng rng_;
 
   std::vector<std::unique_ptr<sim::CorePool>> core_pools_;  // per node

@@ -66,10 +66,10 @@ class TupleSerde {
       std::span<const uint8_t> bytes);
 
   // Worker-oriented BatchTuple (Whale, Fig. 9b): all destination ids on the
-  // target worker share one serialized data item.
-  template <typename W>
-  static void encode_batch_into(W& w, const std::vector<int32_t>& dst_tasks,
-                                const Tuple& t) {
+  // target worker share one serialized data item. Templated over the id
+  // container so pooled and plain vectors both encode without a copy.
+  template <typename W, typename Dsts>
+  static void encode_batch_into(W& w, const Dsts& dst_tasks, const Tuple& t) {
     w.put_varint(dst_tasks.size());
     for (int32_t id : dst_tasks) w.put_varint(static_cast<uint64_t>(id));
     encode_body(t, w);
@@ -77,7 +77,9 @@ class TupleSerde {
   static std::vector<uint8_t> encode_batch_message(
       const std::vector<int32_t>& dst_tasks, const Tuple& t);
   struct BatchMessage {
-    std::vector<int32_t> dst_tasks;
+    // Decoded once per received message on the data path; pooled for the
+    // same reason as Tuple::values.
+    PooledVec<int32_t> dst_tasks;
     Tuple tuple;
   };
   static BatchMessage decode_batch_message(std::span<const uint8_t> bytes);

@@ -64,16 +64,22 @@ struct TaskContext {
 
 // Collects a bolt's emissions during execute(); the engine routes them
 // afterwards. `out_idx` selects among the operator's outgoing streams.
+// Slab-backed like Tuple::values: one emissions vector is built per
+// execute() call, so recycling its storage keeps the bolt hot path off
+// the global allocator.
+using Emissions =
+    std::vector<std::pair<size_t, Tuple>, SlabAllocator<std::pair<size_t, Tuple>>>;
+
 class Emitter {
  public:
   void emit(Tuple t, size_t out_idx = 0) {
     emissions_.emplace_back(out_idx, std::move(t));
   }
 
-  std::vector<std::pair<size_t, Tuple>>& take() { return emissions_; }
+  Emissions& take() { return emissions_; }
 
  private:
-  std::vector<std::pair<size_t, Tuple>> emissions_;
+  Emissions emissions_;
 };
 
 class Bolt {

@@ -11,14 +11,20 @@
 #include <variant>
 #include <vector>
 
+#include "common/slab.h"
 #include "common/time.h"
 
 namespace whale::dsps {
 
 using Value = std::variant<int64_t, double, std::string>;
 
+// Tuples are created and destroyed at event rate; backing the values
+// vector with the slab pool makes steady-state tuple churn allocation-free
+// (typical tuples hold 3-4 values, well inside one slab class).
+using Values = std::vector<Value, SlabAllocator<Value>>;
+
 struct Tuple {
-  std::vector<Value> values;
+  Values values;
 
   // --- metadata (serialized in the header) ---
   uint32_t stream = 0;      // index of the StreamSpec this tuple rides on
@@ -26,7 +32,7 @@ struct Tuple {
   Time root_emit_time = 0;  // simulated time the root left the spout
 
   Tuple() = default;
-  explicit Tuple(std::vector<Value> v) : values(std::move(v)) {}
+  explicit Tuple(Values v) : values(std::move(v)) {}
 
   int64_t as_int(size_t i) const { return std::get<int64_t>(values[i]); }
   double as_double(size_t i) const { return std::get<double>(values[i]); }

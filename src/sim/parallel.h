@@ -1,0 +1,331 @@
+// Parallel conservative discrete-event kernel.
+//
+// ParallelSimulation shards the event heap into one Simulation per
+// partition (the engine maps every simulated node to a partition, so
+// intra-node events never synchronize) and runs the partitions on a
+// thread pool in bounded time windows. The window protocol is the
+// classic conservative (YAWNS-style) scheme:
+//
+//   each round:  m = min over partitions of earliest pending event
+//                W = min(target, m + lookahead)
+//                every partition executes events with time < W in
+//                parallel, then parks its clock on W
+//                barrier; the coordinator merges cross-partition posts
+//
+// `lookahead` is the minimum cross-partition link propagation delay
+// (Fabric::min_cross_propagation): an event executing at u < W can only
+// affect another partition at u + prop >= m + lookahead >= W, so every
+// event below W is safe to run without seeing the other partitions'
+// progress.
+//
+// Cross-partition events travel through per-(src,dst) channels. A
+// channel has exactly one writer per round (the thread that claimed the
+// source partition) and is drained only by the coordinator after the
+// round barrier, so no channel needs locking; the barrier's mutex
+// provides the happens-before edge. The merge is deterministic: for
+// each destination, channel entries are concatenated in source-partition
+// order and stable-sorted by time, i.e. ordered by
+// (time, src_partition, append index) — a key independent of thread
+// count and OS scheduling. Each entry then receives a fresh sequence
+// number from the destination heap, so ties on time replay identically
+// on every run.
+//
+// run_until(T) is two-phase. Phase 1 runs windowed rounds for events
+// strictly below T. Phase 2 runs each partition's events at exactly T
+// *sequentially on the coordinator thread*, in partition order: the
+// engine schedules its measurement-boundary callbacks (window snapshot,
+// report finalization) at exact times, and those callbacks read state
+// across partitions — running them with no concurrent partition activity
+// makes them race-free and serial-identical by construction.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "common/time.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace whale::sim {
+
+namespace detail {
+// Which partition the calling thread is currently executing, if any.
+// Namespace-scope thread_locals (not members) so current() costs a TLS
+// read, and so nested engines in tests cannot alias each other's slots
+// (only one ParallelSimulation executes on a given thread at a time).
+inline thread_local Simulation* g_tls_sim = nullptr;
+inline thread_local int g_tls_partition = -1;
+}  // namespace detail
+
+class ParallelSimulation : public PartitionRouter {
+ public:
+  // No cross-partition links: every window extends to the target.
+  static constexpr Duration kInfiniteLookahead = INT64_MAX;
+
+  // `node_partition[n]` maps simulated node n to a partition index in
+  // [0, num_partitions). `threads` is the total number of executing
+  // threads (>= 1); the calling thread participates, so `threads - 1`
+  // workers are spawned.
+  ParallelSimulation(std::vector<int> node_partition, int num_partitions,
+                     int threads)
+      : node_partition_(std::move(node_partition)),
+        partitions_(static_cast<size_t>(num_partitions)),
+        channels_(static_cast<size_t>(num_partitions) *
+                  static_cast<size_t>(num_partitions)) {
+    assert(num_partitions >= 1);
+    const int workers =
+        std::max(0, std::min(threads, num_partitions) - 1);
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ParallelSimulation() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ParallelSimulation(const ParallelSimulation&) = delete;
+  ParallelSimulation& operator=(const ParallelSimulation&) = delete;
+
+  // Minimum cross-partition propagation delay; events below the window
+  // boundary cannot affect another partition within the window.
+  void set_lookahead(Duration l) {
+    assert(l >= 1 || l == kInfiniteLookahead);
+    lookahead_ = l;
+  }
+  Duration lookahead() const { return lookahead_; }
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  Simulation& partition(int p) { return partitions_[static_cast<size_t>(p)]; }
+  Simulation& node_sim(int node) {
+    return partitions_[static_cast<size_t>(
+        node_partition_[static_cast<size_t>(node)])];
+  }
+  int node_partition(int node) const {
+    return node_partition_[static_cast<size_t>(node)];
+  }
+  const std::vector<int>& node_partition_map() const {
+    return node_partition_;
+  }
+
+  // The partition the calling thread is executing; partition 0 outside
+  // execution (setup code and post-run report reads all run there).
+  Simulation& current() {
+    return detail::g_tls_sim ? *detail::g_tls_sim : partitions_[0];
+  }
+  int current_partition() const {
+    return detail::g_tls_partition >= 0 ? detail::g_tls_partition : 0;
+  }
+
+  // PartitionRouter: deliver `fn` to dst_node's partition at now + d.
+  // Same-partition posts schedule directly; cross-partition posts append
+  // to the (src, dst) channel and merge at the next barrier.
+  void post_after(int dst_node, Duration d, InlineFunction fn) override {
+    Simulation& cur = current();
+    const Time t = cur.now() + d;
+    const int dst = node_partition_[static_cast<size_t>(dst_node)];
+    const int src = current_partition();
+    if (dst == src) {
+      cur.schedule_at(t, std::move(fn));
+      return;
+    }
+    // Conservative-correctness check: a cross post from inside a strict
+    // window must land at or beyond the window boundary.
+    assert((!round_strict_ || t >= round_target_) &&
+           "cross-partition post inside the lookahead window");
+    channels_[static_cast<size_t>(src) * partitions_.size() +
+              static_cast<size_t>(dst)]
+        .push_back(Posted{t, std::move(fn)});
+  }
+
+  // Processes every event with time <= t in every partition, then
+  // advances all partition clocks to t. Bit-identical to running the
+  // same events on a single heap (see file comment for the argument).
+  void run_until(Time t) {
+    // Phase 1: windowed parallel rounds for events strictly below t.
+    for (;;) {
+      const Time m = min_front_time();
+      if (m >= t) break;
+      const Time w =
+          lookahead_ == kInfiniteLookahead
+              ? t
+              : std::min(t, m + lookahead_);
+      run_round(w, /*strict=*/true);
+      merge_channels();
+    }
+    // Phase 2: events at exactly t, sequential on this thread. Merged
+    // posts can themselves land at t (zero-propagation edges), so loop
+    // until a merge moves nothing.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        round_strict_ = false;
+        round_target_ = t;
+      }
+      for (size_t p = 0; p < partitions_.size(); ++p) {
+        run_partition(static_cast<int>(p), t, /*strict=*/false);
+      }
+      if (!merge_channels()) break;
+    }
+  }
+
+  uint64_t events_processed() const {
+    uint64_t n = 0;
+    for (const auto& s : partitions_) n += s.events_processed();
+    return n;
+  }
+
+  // All partitions share one clock value outside run_until().
+  Time now() const { return partitions_[0].now(); }
+
+ private:
+  struct Posted {
+    Time t;
+    InlineFunction fn;
+  };
+
+  Time min_front_time() const {
+    Time m = INT64_MAX;
+    for (const auto& s : partitions_) {
+      if (!s.empty()) m = std::min(m, s.front_time());
+    }
+    return m;
+  }
+
+  // Executes one partition up to `target` with the thread-local
+  // partition context installed (so schedule_after / current() inside
+  // callbacks resolve to this partition).
+  void run_partition(int p, Time target, bool strict) {
+    Simulation& s = partitions_[static_cast<size_t>(p)];
+    detail::g_tls_sim = &s;
+    detail::g_tls_partition = p;
+#ifndef NDEBUG
+    s.set_window_limit(target);
+#endif
+    if (strict) {
+      s.run_before(target);
+    } else {
+      s.run_until(target);
+    }
+#ifndef NDEBUG
+    s.set_window_limit(Simulation::kNoWindowLimit);
+#endif
+    detail::g_tls_sim = nullptr;
+    detail::g_tls_partition = -1;
+  }
+
+  // One parallel round: all partitions execute events below `w` (strict)
+  // on the pool, with the calling thread participating. Returns after
+  // every partition has finished (full barrier).
+  void run_round(Time w, bool strict) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      round_target_ = w;
+      round_strict_ = strict;
+      next_claim_.store(0, std::memory_order_relaxed);
+      workers_done_ = 0;
+      ++round_gen_;
+    }
+    cv_work_.notify_all();
+    claim_and_run(w, strict);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] {
+      return workers_done_ == static_cast<int>(threads_.size());
+    });
+  }
+
+  void claim_and_run(Time target, bool strict) {
+    for (;;) {
+      const int p = next_claim_.fetch_add(1, std::memory_order_relaxed);
+      if (p >= num_partitions()) return;
+      run_partition(p, target, strict);
+    }
+  }
+
+  void worker_loop() {
+    uint64_t seen = 0;
+    for (;;) {
+      Time target;
+      bool strict;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return shutdown_ || round_gen_ != seen; });
+        if (shutdown_) return;
+        seen = round_gen_;
+        target = round_target_;
+        strict = round_strict_;
+      }
+      claim_and_run(target, strict);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++workers_done_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  // Drains every channel into its destination heap in deterministic
+  // (time, src_partition, append index) order. Runs only on the
+  // coordinator thread after a barrier. Returns true if anything moved.
+  bool merge_channels() {
+    const size_t n = partitions_.size();
+    bool any = false;
+    for (size_t dst = 0; dst < n; ++dst) {
+      merge_buf_.clear();
+      for (size_t src = 0; src < n; ++src) {
+        auto& ch = channels_[src * n + dst];
+        for (auto& e : ch) merge_buf_.push_back(std::move(e));
+        ch.clear();
+      }
+      if (merge_buf_.empty()) continue;
+      any = true;
+      // Each channel is already time-sorted (source clocks are
+      // monotone); stable_sort across channels preserves the
+      // source-order tiebreak.
+      std::stable_sort(
+          merge_buf_.begin(), merge_buf_.end(),
+          [](const Posted& a, const Posted& b) { return a.t < b.t; });
+      for (auto& e : merge_buf_) {
+        partitions_[dst].schedule_at(e.t, std::move(e.fn));
+      }
+    }
+    merge_buf_.clear();
+    return any;
+  }
+
+  std::vector<int> node_partition_;
+  std::vector<Simulation> partitions_;
+  std::vector<std::vector<Posted>> channels_;  // [src * P + dst]
+  std::vector<Posted> merge_buf_;
+  Duration lookahead_ = kInfiniteLookahead;
+
+  // Round/barrier state. round_target_/round_strict_ are written by the
+  // coordinator under mu_ before the round and read by workers after
+  // their cv_work_ wakeup (and by post_after only from the thread that
+  // owns the executing partition, after that same wakeup).
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t round_gen_ = 0;
+  Time round_target_ = 0;
+  bool round_strict_ = false;
+  std::atomic<int> next_claim_{0};
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace whale::sim

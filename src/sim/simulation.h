@@ -71,25 +71,28 @@ class Simulation {
   // Runs the earliest event. Returns false if the queue was empty.
   bool step() {
     if (heap_.empty()) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const HeapEntry ev = heap_.back();
-    heap_.pop_back();
-    now_ = ev.time;
-    ++processed_;
-    // Move the callback out and recycle the slot BEFORE invoking: the
-    // callback may schedule further events, growing (and reallocating)
-    // the slab under our feet.
-    const uint32_t slot = static_cast<uint32_t>(ev.key & 0xFFFFFFu);
-    Callback fn = std::move(slab_[slot].fn);
-    slab_[slot].next_free = free_head_;
-    free_head_ = slot;
-    if (fn) fn();
+    pop_and_run();
     return true;
   }
 
+  // Earliest pending event time (heap_.front() must exist).
+  Time front_time() const { return heap_.front().time; }
+
   // Processes every event with time <= t, then advances the clock to t.
+  // Each iteration reads heap_.front() exactly once and fully pops the
+  // event before invoking its callback, so a throwing callback can never
+  // leave a partially-popped heap behind.
   void run_until(Time t) {
-    while (!heap_.empty() && heap_.front().time <= t) step();
+    while (!heap_.empty() && heap_.front().time <= t) pop_and_run();
+    if (now_ < t) now_ = t;
+  }
+
+  // Processes every event with time strictly < t, then advances the clock
+  // to t. This is the window primitive of the parallel kernel: a partition
+  // granted the window [now, t) executes exactly the events below t and
+  // parks its clock on the boundary.
+  void run_before(Time t) {
+    while (!heap_.empty() && heap_.front().time < t) pop_and_run();
     if (now_ < t) now_ = t;
   }
 
@@ -99,8 +102,38 @@ class Simulation {
     while (n < max_events && step()) ++n;
   }
 
+#ifndef NDEBUG
+  // Debug guard for the parallel kernel: a partition's clock must never
+  // exceed the window it was granted. kNoLimit disarms the check.
+  static constexpr Time kNoWindowLimit = INT64_MAX;
+  void set_window_limit(Time t) { window_limit_ = t; }
+#endif
+
  private:
   static constexpr uint32_t kNilSlot = UINT32_MAX;
+
+  // Pops and runs the top event. Precondition: !heap_.empty(). The pop is
+  // complete (heap, clock, slab slot all consistent) before the callback
+  // is invoked, so an exception from the callback unwinds cleanly.
+  void pop_and_run() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapEntry ev = heap_.back();
+    heap_.pop_back();
+    now_ = ev.time;
+#ifndef NDEBUG
+    assert(now_ <= window_limit_ &&
+           "partition clock exceeded its granted window");
+#endif
+    ++processed_;
+    // Move the callback out and recycle the slot BEFORE invoking: the
+    // callback may schedule further events, growing (and reallocating)
+    // the slab under our feet.
+    const uint32_t slot = static_cast<uint32_t>(ev.key & 0xFFFFFFu);
+    Callback fn = std::move(slab_[slot].fn);
+    slab_[slot].next_free = free_head_;
+    free_head_ = slot;
+    if (fn) fn();
+  }
 
   // 16 bytes: two entries per sift move, four per cache line.
   struct HeapEntry {
@@ -129,6 +162,9 @@ class Simulation {
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t processed_ = 0;
+#ifndef NDEBUG
+  Time window_limit_ = kNoWindowLimit;
+#endif
 };
 
 }  // namespace whale::sim

@@ -2,6 +2,8 @@
 // topology building, value hashing, and the message envelope.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/message.h"
 #include "dsps/serde.h"
 #include "dsps/topology.h"
@@ -56,7 +58,8 @@ TEST(Serde, BatchMessageCarriesIdList) {
   const std::vector<int32_t> ids = {3, 19, 480, 7};
   const auto bytes = TupleSerde::encode_batch_message(ids, t);
   const auto m = TupleSerde::decode_batch_message(bytes);
-  EXPECT_EQ(m.dst_tasks, ids);
+  ASSERT_EQ(m.dst_tasks.size(), ids.size());
+  EXPECT_TRUE(std::equal(m.dst_tasks.begin(), m.dst_tasks.end(), ids.begin()));
   EXPECT_EQ(m.tuple.as_string(2), "symbol");
 }
 

@@ -1,0 +1,356 @@
+// Parallel conservative DES kernel (src/sim/parallel.h, DESIGN.md §13).
+//
+// Three layers of coverage:
+//
+//  1. Kernel merge contract: a randomized seeded workload of event chains
+//     that post cross-partition messages proves the windowed rounds +
+//     deterministic channel merge replay the exact same (partition, time,
+//     tag) execution trace at every thread count — the property the
+//     engine-level fingerprint gate rests on.
+//
+//  2. Window computation: Fabric::min_cross_propagation under degraded
+//     links — a latency factor below 1 must SHRINK the lookahead (the
+//     conservative bound must track the fastest link), a partitioned link
+//     (bandwidth factor 0) must be skipped entirely, and an all-links-
+//     partitioned topology must yield kNoCrossLinks (windows extend to
+//     the target; no deadlock, because nothing can cross anyway).
+//
+//  3. Engine fingerprint parity: every probe of the fingerprint suite,
+//     run with cfg.sim.threads in {2, 4, hardware_concurrency}, matches
+//     the committed serial baseline bit-for-bit. The fingerprint embeds
+//     events=, so event-count parity is asserted by the same comparison.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/fingerprint_suite.h"
+#include "apps/ride_hailing_app.h"
+#include "core/engine.h"
+#include "net/cluster.h"
+#include "net/fabric.h"
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using whale::Duration;
+using whale::Time;
+using whale::us;
+
+// ---------------------------------------------------------------------------
+// 1. Kernel merge contract
+// ---------------------------------------------------------------------------
+
+uint64_t splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// One trace entry: which partition ran an event, when, and its identity.
+using TraceEntry = std::tuple<int, Time, uint64_t>;
+
+// Runs a seeded workload of self-continuing chains on `parts` partitions
+// with `threads` threads. Chains hop across partitions with delays >= the
+// lookahead and reschedule locally with small delays; every execution
+// appends to its partition's trace (single writer per partition, merged
+// after the run). Returns the merged trace.
+std::vector<TraceEntry> run_kernel_workload(int parts, int threads,
+                                            uint64_t seed) {
+  constexpr Duration kLookahead = us(5);
+  // node i -> partition i (one node per partition is the adversarial
+  // case: every hop crosses).
+  std::vector<int> node_part(static_cast<size_t>(parts));
+  for (int i = 0; i < parts; ++i) node_part[static_cast<size_t>(i)] = i;
+
+  whale::sim::ParallelSimulation ps(node_part, parts, threads);
+  ps.set_lookahead(kLookahead);
+
+  std::vector<std::vector<TraceEntry>> traces(static_cast<size_t>(parts));
+
+  // A chain step: record, then either hop to a pseudo-random partition at
+  // a delay >= lookahead or continue locally. Captured state fits the
+  // 48-byte InlineFunction buffer.
+  struct Step {
+    whale::sim::ParallelSimulation* ps;
+    std::vector<std::vector<TraceEntry>>* traces;
+    uint64_t id;
+    int hops_left;
+
+    void operator()() const {
+      auto& sim = ps->current();
+      const int here = ps->current_partition();
+      (*traces)[static_cast<size_t>(here)].emplace_back(here, sim.now(), id);
+      if (hops_left == 0) return;
+      const uint64_t h = splitmix(id * 1315423911ull +
+                                  static_cast<uint64_t>(hops_left));
+      Step next{ps, traces, id * 33 + static_cast<uint64_t>(hops_left),
+                hops_left - 1};
+      if (h & 1) {
+        const int dst = static_cast<int>((h >> 8) %
+                                         static_cast<uint64_t>(
+                                             ps->num_partitions()));
+        const Duration d = kLookahead + static_cast<Duration>(h % 4000);
+        ps->post_after(dst, d, next);
+      } else {
+        sim.schedule_after(static_cast<Duration>(1 + (h % 700)), next);
+      }
+    }
+  };
+
+  for (int p = 0; p < parts; ++p) {
+    for (int c = 0; c < 8; ++c) {
+      const uint64_t id = splitmix(seed ^ (static_cast<uint64_t>(p) << 32 |
+                                           static_cast<uint64_t>(c)));
+      ps.partition(p).schedule_at(static_cast<Time>(id % 1000),
+                                  Step{&ps, &traces, id, 200});
+    }
+  }
+  ps.run_until(whale::ms(40));
+
+  std::vector<TraceEntry> merged;
+  for (auto& t : traces) {
+    merged.insert(merged.end(), t.begin(), t.end());
+  }
+  // Canonical order: partition-major (each partition's slice is already
+  // in execution order, which is the property under test).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return std::get<0>(a) < std::get<0>(b);
+                   });
+  return merged;
+}
+
+TEST(ParallelKernel, TraceIdenticalAcrossThreadCounts) {
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  std::vector<int> counts = {1, 2, 4, hw};
+  for (uint64_t seed : {42ull, 7ull, 999ull}) {
+    const auto reference = run_kernel_workload(4, 1, seed);
+    ASSERT_FALSE(reference.empty());
+    for (int t : counts) {
+      const auto got = run_kernel_workload(4, t, seed);
+      EXPECT_EQ(reference.size(), got.size())
+          << "seed " << seed << " threads " << t;
+      EXPECT_TRUE(reference == got)
+          << "trace diverged: seed " << seed << " threads " << t;
+    }
+  }
+}
+
+TEST(ParallelKernel, EventsProcessedMatchesAcrossThreadCounts) {
+  auto count = [](int threads) {
+    std::vector<int> node_part = {0, 1, 2};
+    whale::sim::ParallelSimulation ps(node_part, 3, threads);
+    ps.set_lookahead(us(2));
+    std::vector<std::vector<TraceEntry>> traces(3);
+    struct Ping {
+      whale::sim::ParallelSimulation* ps;
+      int dst;
+      int left;
+      void operator()() const {
+        if (left == 0) return;
+        ps->post_after(dst, us(2) + 1, Ping{ps, (dst + 1) % 3, left - 1});
+      }
+    };
+    ps.partition(0).schedule_at(0, Ping{&ps, 1, 500});
+    ps.run_until(whale::ms(20));
+    return ps.events_processed();
+  };
+  const uint64_t serial = count(1);
+  EXPECT_GT(serial, 400u);
+  EXPECT_EQ(serial, count(2));
+  EXPECT_EQ(serial, count(4));
+}
+
+// Zero-lookahead inputs are rejected in debug builds; kInfiniteLookahead
+// (no cross links) must let a partition-local workload run to completion
+// in one window — the degenerate "fabric fully partitioned" case.
+TEST(ParallelKernel, InfiniteLookaheadRunsToCompletion) {
+  std::vector<int> node_part = {0, 1};
+  whale::sim::ParallelSimulation ps(node_part, 2, 2);
+  ps.set_lookahead(whale::sim::ParallelSimulation::kInfiniteLookahead);
+  int fired = 0;
+  for (int p = 0; p < 2; ++p) {
+    ps.partition(p).schedule_at(us(3), [&fired] { ++fired; });
+  }
+  ps.run_until(whale::ms(1));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(ps.now(), whale::ms(1));
+}
+
+// ---------------------------------------------------------------------------
+// 2. Window computation under degraded links
+// ---------------------------------------------------------------------------
+
+class LookaheadTest : public ::testing::Test {
+ protected:
+  whale::sim::Simulation sim_;
+  whale::net::ClusterSpec spec_;
+
+  whale::net::Fabric make_fabric() {
+    spec_.num_nodes = 4;
+    return whale::net::Fabric(sim_, spec_);
+  }
+};
+
+TEST_F(LookaheadTest, BaselineIsMinCrossPropagation) {
+  auto fabric = make_fabric();
+  const std::vector<int> part = {0, 0, 1, 1};
+  // Single rack: every pair is intra-rack.
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, part),
+            spec_.ib_prop_intra_rack);
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kTcp, part),
+            spec_.eth_prop_intra_rack);
+}
+
+TEST_F(LookaheadTest, SamePartitionLinksDoNotBound) {
+  auto fabric = make_fabric();
+  // All nodes in one partition: no cross links at all.
+  const std::vector<int> one = {0, 0, 0, 0};
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, one),
+            whale::net::Fabric::kNoCrossLinks);
+}
+
+TEST_F(LookaheadTest, FasterDegradedLinkShrinksLookahead) {
+  auto fabric = make_fabric();
+  const std::vector<int> part = {0, 0, 1, 1};
+  // A latency factor BELOW 1 makes one cross link faster than pristine;
+  // the conservative bound must shrink with it.
+  fabric.degrade_link(0, 2, /*bandwidth_factor=*/1.0, /*latency_factor=*/0.25);
+  const Duration expect =
+      static_cast<Duration>(static_cast<double>(spec_.ib_prop_intra_rack) *
+                            0.25);
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, part),
+            expect);
+}
+
+TEST_F(LookaheadTest, DegradedFloorNeverReachesZero) {
+  auto fabric = make_fabric();
+  const std::vector<int> part = {0, 0, 1, 1};
+  // An absurdly sped-up link must still leave a strictly positive
+  // lookahead: a zero window would stall the round loop forever.
+  fabric.degrade_link(0, 2, 1.0, /*latency_factor=*/1e-9);
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, part),
+            1);
+}
+
+TEST_F(LookaheadTest, PartitionedLinksAreSkipped) {
+  auto fabric = make_fabric();
+  const std::vector<int> part = {0, 0, 1, 1};
+  // Partitioning the fastest links (bandwidth 0 drops everything) removes
+  // them from the bound instead of driving it to the floor.
+  fabric.degrade_link(0, 2, /*bandwidth_factor=*/0.0, 1.0);
+  fabric.degrade_link(0, 3, 0.0, 1.0);
+  fabric.degrade_link(1, 2, 0.0, 1.0);
+  fabric.degrade_link(1, 3, 0.0, 1.0);
+  // Reverse direction still intact: dst-side links bound the lookahead.
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, part),
+            spec_.ib_prop_intra_rack);
+  // Partition every cross link in both directions: nothing can cross, so
+  // nothing bounds the window.
+  fabric.degrade_link(2, 0, 0.0, 1.0);
+  fabric.degrade_link(2, 1, 0.0, 1.0);
+  fabric.degrade_link(3, 0, 0.0, 1.0);
+  fabric.degrade_link(3, 1, 0.0, 1.0);
+  EXPECT_EQ(fabric.min_cross_propagation(whale::net::Transport::kRdma, part),
+            whale::net::Fabric::kNoCrossLinks);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Engine fingerprint parity at every thread count
+// ---------------------------------------------------------------------------
+
+whale::core::EngineConfig probe_config(whale::core::SystemVariant v) {
+  whale::core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = v;
+  cfg.seed = 42;
+  return cfg;
+}
+
+whale::apps::RideHailingAppParams probe_ride_params() {
+  whale::apps::RideHailingAppParams p;
+  p.matching_parallelism = 32;
+  p.aggregation_parallelism = 4;
+  p.driver_spout_parallelism = 2;
+  p.request_rate = whale::dsps::RateProfile::constant(3000);
+  p.driver_rate = whale::dsps::RateProfile::constant(2000);
+  return p;
+}
+
+// Guards the parity test against passing vacuously: the partitioned
+// kernel must actually engage for eligible configs (and must not for
+// threads <= 1 or feature sets the conservative windows cannot cover).
+TEST(ParallelEngineParity, ParallelPathEngagesWhenEligible) {
+  const auto topo =
+      whale::apps::build_ride_hailing(probe_ride_params()).topology;
+  {
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.sim.threads = 4;
+    whale::core::Engine e(cfg, topo);
+    EXPECT_TRUE(e.parallel());
+  }
+  {
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    whale::core::Engine e(cfg, topo);  // threads unset: serial path
+    EXPECT_FALSE(e.parallel());
+  }
+  {
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.sim.threads = 4;
+    cfg.enable_acking = true;  // acker state is cross-partition: serial
+    whale::core::Engine e(cfg, topo);
+    EXPECT_FALSE(e.parallel());
+  }
+}
+
+std::map<std::string, std::string> load_baseline() {
+  const std::string path =
+      std::string(WHALE_SOURCE_DIR) + "/results/fingerprints_baseline.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing baseline file: " << path;
+  std::map<std::string, std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    out[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  return out;
+}
+
+// Every probe (including the ones that fall back to serial: the optimized
+// RDMA transport, the non-blocking tree, the seeded fault plan) must match
+// the committed baseline at every thread count. The fingerprint embeds
+// events=, so this is also the event-count parity assertion. threads=1
+// takes the literal serial path and is covered by test_fingerprint.
+TEST(ParallelEngineParity, AllProbesMatchBaselineAtEveryThreadCount) {
+  const auto baseline = load_baseline();
+  const int hw =
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  std::vector<int> counts = {2, 4};
+  if (hw != 2 && hw != 4) counts.push_back(hw);
+  for (const int threads : counts) {
+    for (const auto& label : whale::apps::fingerprint_probe_labels()) {
+      const auto got = whale::apps::run_fingerprint_probe(
+          label, [threads](whale::core::EngineConfig& cfg) {
+            cfg.sim.threads = threads;
+          });
+      auto it = baseline.find(got.label);
+      ASSERT_NE(it, baseline.end()) << got.label;
+      EXPECT_EQ(got.fingerprint, it->second)
+          << got.label << " at threads=" << threads;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate the parallel-kernel bench artifact (results/BENCH_parallel.json).
+
+Checks (stdlib only, exit non-zero on the first failure):
+  - top-level schema: bench tag, host_cores, sweep
+  - sweep: both fig-scale configs appear at every thread count in
+    {1, 2, 4, 8}; every row has numeric events/wall/rate fields
+  - determinism: within a config, `events` is identical at every thread
+    count (the parallel kernel is bit-identical to serial, so the amount
+    of simulated work cannot depend on the thread count), and the
+    parallel kernel actually engaged for threads >= 2
+  - speedup gate: when the recording host has >= 4 physical cores, at
+    least one config must reach >= 2.5x events/sec at 4 threads vs 1.
+    On smaller hosts the wall-clock columns carry no parallelism signal
+    (the partitions time-slice one core), so the gate is recorded as
+    skipped rather than silently passed.
+
+Usage: tools/validate_parallel.py [path]
+       (default: results/BENCH_parallel.json)
+"""
+import json
+import pathlib
+import sys
+
+CONFIGS = ("fig13-ride", "fig21-mcast480")
+THREADS = (1, 2, 4, 8)
+ROW_FIELDS = ("threads", "events", "wall_ms", "events_per_sec")
+SPEEDUP_GATE = 2.5
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def validate_sweep(sweep) -> dict:
+    if not isinstance(sweep, list) or not sweep:
+        fail("sweep must be a non-empty list")
+    points = {}
+    for i, row in enumerate(sweep):
+        where = f"sweep[{i}]"
+        if row.get("config") not in CONFIGS:
+            fail(f"{where}: unknown config {row.get('config')!r}")
+        for f in ROW_FIELDS:
+            if f not in row:
+                fail(f"{where} missing field '{f}'")
+            if not isinstance(row[f], (int, float)) or isinstance(row[f], bool):
+                fail(f"{where} field '{f}' is not numeric: {row[f]!r}")
+        if not isinstance(row.get("engaged"), bool):
+            fail(f"{where} missing boolean field 'engaged'")
+        key = (row["config"], row["threads"])
+        if key in points:
+            fail(f"{where}: duplicate point {key}")
+        points[key] = row
+
+    for c in CONFIGS:
+        for t in THREADS:
+            if (c, t) not in points:
+                fail(f"missing sweep point ({c}, threads={t})")
+        events = {points[(c, t)]["events"] for t in THREADS}
+        if len(events) != 1:
+            fail(f"{c}: events differ across thread counts ({sorted(events)}) "
+                 "— parallel runs are not reproducing the serial run")
+        if points[(c, 1)]["engaged"]:
+            fail(f"{c}: threads=1 must stay on the serial kernel")
+        for t in THREADS[1:]:
+            if not points[(c, t)]["engaged"]:
+                fail(f"{c}: parallel kernel did not engage at threads={t}")
+        if points[(c, 1)]["events"] <= 0:
+            fail(f"{c}: no simulated work recorded")
+    return points
+
+
+def main() -> None:
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else "results/BENCH_parallel.json")
+    if not path.exists():
+        fail(f"{path} does not exist")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if doc.get("bench") != "parallel":
+        fail(f"unexpected bench tag: {doc.get('bench')!r}")
+    cores = doc.get("host_cores")
+    if not isinstance(cores, int) or cores < 1:
+        fail(f"host_cores missing or invalid: {cores!r}")
+    points = validate_sweep(doc.get("sweep"))
+
+    best = max(points[(c, 4)]["events_per_sec"] / points[(c, 1)]["events_per_sec"]
+               for c in CONFIGS)
+    if cores >= 4:
+        if best < SPEEDUP_GATE:
+            fail(f"best 4-thread speedup {best:.2f}x below the "
+                 f"{SPEEDUP_GATE}x gate on a {cores}-core host")
+        print(f"OK: {path} — {len(points)} points, best 4-thread speedup "
+              f"{best:.2f}x (gate {SPEEDUP_GATE}x, host_cores={cores})")
+    else:
+        print(f"OK: {path} — {len(points)} points, determinism checks pass; "
+              f"speedup gate SKIPPED (host_cores={cores} < 4, recorded "
+              f"4-thread ratio {best:.2f}x carries no parallelism signal)")
+
+
+if __name__ == "__main__":
+    main()
