@@ -21,7 +21,8 @@ namespace whale::core {
 // §13). 0/1 keeps today's single-threaded kernel with no new locks or
 // atomics on the hot path. Configurations the partitioner cannot prove
 // safe (acking, faults, checkpointing, observability, the optimized-RDMA
-// transport) silently fall back to serial.
+// transport) fall back to serial; RunReport.parallel records the decision
+// and names the first disqualifying knob in fallback_reason.
 struct SimConfig {
   int threads = 0;
 };

@@ -74,7 +74,7 @@ void loop_async(Body body_in) {
 }  // namespace
 
 Engine::Engine(EngineConfig cfg, dsps::Topology topo)
-    : cfg_(std::move(cfg)), topo_(std::move(topo)), rng_(cfg_.seed) {
+    : cfg_(std::move(cfg)), topo_(std::move(topo)) {
   // The remote state backend lives on a dedicated state-host node appended
   // past the workers; it exists in the fabric only when the backend is on,
   // so backend-off runs build the exact same fabric as before.
@@ -133,63 +133,62 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
 }
 
 void Engine::setup_parallel() {
-  if (cfg_.sim.threads < 2) return;
+  // Every fallback names the FIRST disqualifying knob in parallel_info_,
+  // so the eligibility matrix is pinned by name, never a silent `return`.
+  auto fallback = [this](const char* reason) {
+    parallel_info_.fallback_reason = reason;
+  };
+  if (cfg_.sim.threads < 2) return fallback("not_requested");
   // Configurations the partitioner cannot prove safe fall back to the
   // exact serial path (DESIGN.md §13). Each of these couples partitions
   // through shared mutable state with order-sensitive semantics (acker
   // ledger, fault timelines, epoch alignment, obs sampling) or through
   // zero-lookahead cross-node interactions (one-sided READ rings, tree
   // switching control traffic).
-  if (cfg_.enable_acking || cfg_.replay_on_failure) return;
-  if (!cfg_.faults.empty()) return;
-  if (cfg_.state.enabled) return;
-  if (cfg_.obs.metrics_enabled || cfg_.obs.tracing_enabled) return;
-  if (cfg_.variant.transport == TransportMode::kRdmaOptimized) return;
-  if (cfg_.variant.mcast == McastMode::kNonblocking) return;
+  if (cfg_.enable_acking) return fallback("acking");
+  if (cfg_.replay_on_failure) return fallback("replay");
+  if (!cfg_.faults.empty()) return fallback("faults");
+  if (cfg_.state.enabled) return fallback("state");
+  if (cfg_.obs.metrics_enabled || cfg_.obs.tracing_enabled) {
+    return fallback("obs");
+  }
+  if (cfg_.variant.transport == TransportMode::kRdmaOptimized) {
+    return fallback("optimized_rdma");
+  }
+  if (cfg_.variant.mcast == McastMode::kNonblocking) {
+    return fallback("nonblocking_mcast");
+  }
   // Load-aware strategies read live cross-partition instance loads at
   // routing time; probe with a throwaway instance per stream.
   for (const auto& s : topo_.streams) {
-    if (dsps::make_strategy(s)->load_aware()) return;
+    if (dsps::make_strategy(s)->load_aware()) {
+      return fallback("load_aware_strategy");
+    }
   }
 
-  // Partition map: one partition per node, except that every node hosting
-  // a spout instance folds into partition 0 — spout arrivals share the
-  // engine RNG and the root-id counter, so they must execute on a single
-  // thread in a deterministic order. Placement mirrors build_runtime:
-  // instance i of an operator lands on worker/node (i % num_nodes).
+  // Partition map: one partition per node, spout-hosting nodes included.
+  // Spout arrivals are partition-local because every spout instance owns
+  // its own RNG and its own disjoint root-id stream (build_runtime), so
+  // nothing about source emission couples partitions — the old fold of
+  // all spout nodes into partition 0 (which serialized the run once the
+  // cluster grew past a few dozen nodes) is gone. Partition 0 is anchored
+  // at node 0: setup code and post-run readers execute there.
   const int n = cfg_.cluster.num_nodes;
-  std::vector<char> spout_node(static_cast<size_t>(n), 0);
-  for (const auto& op : topo_.ops) {
-    if (!op.is_spout) continue;
-    for (int i = 0; i < op.parallelism; ++i) {
-      spout_node[static_cast<size_t>(i % n)] = 1;
-    }
-  }
-  std::vector<int> part(static_cast<size_t>(n), 0);
-  bool have_zero = false;
-  for (char s : spout_node) have_zero |= (s != 0);
-  int next = 1;
-  for (int node = 0; node < n; ++node) {
-    if (spout_node[static_cast<size_t>(node)]) {
-      part[static_cast<size_t>(node)] = 0;
-    } else if (!have_zero) {
-      part[static_cast<size_t>(node)] = 0;  // anchor partition 0 somewhere
-      have_zero = true;
-    } else {
-      part[static_cast<size_t>(node)] = next++;
-    }
-  }
-  const int num_partitions = next;
-  if (num_partitions < 2) return;  // nothing to parallelize
+  if (n < 2) return fallback("single_partition");
+  std::vector<int> part(static_cast<size_t>(n));
+  for (int node = 0; node < n; ++node) part[static_cast<size_t>(node)] = node;
 
   // Buffers will cross partition threads from here on (relayed multicast
   // payloads, routed deliveries); flip refcounting/pooling to mt mode
   // before any worker thread exists so the flip happens-before all of
   // them. Sticky for the process by design.
   g_buffer_mt = true;
-  psim_ = std::make_unique<sim::ParallelSimulation>(
-      std::move(part), num_partitions,
-      std::min(cfg_.sim.threads, num_partitions));
+  const int threads = std::min(cfg_.sim.threads, n);
+  parallel_info_.engaged = true;
+  parallel_info_.num_partitions = n;
+  parallel_info_.threads = threads;
+  psim_ = std::make_unique<sim::ParallelSimulation>(std::move(part), n,
+                                                    threads);
 }
 
 void Engine::obs_setup() {
@@ -459,6 +458,17 @@ void Engine::build_runtime() {
       op_out_index_[op].emplace(outs[i], i);
     }
   }
+  // Per-spout arrival state (DESIGN.md §13): every spout instance draws
+  // from its own RNG (seeded from cfg_.seed and its global spout index)
+  // and allocates root ids from its own disjoint stream — first id
+  // 1 + spout_index, stride = total spout instances. Deterministic
+  // regardless of thread count, and it is what lets spout-hosting nodes
+  // partition like any other node instead of folding into partition 0.
+  uint64_t total_spouts = 0;
+  for (const auto& spec : topo_.ops) {
+    if (spec.is_spout) total_spouts += static_cast<uint64_t>(spec.parallelism);
+  }
+  uint64_t spout_index = 0;
   int task_id = 0;
   for (size_t op = 0; op < topo_.ops.size(); ++op) {
     const auto& spec = topo_.ops[op];
@@ -485,6 +495,11 @@ void Engine::build_runtime() {
         t->spout = spec.spout_factory();
         t->spout->prepare(ctx);
         if (state::kCompiled) t->spout->register_state(t->store);
+        t->spout_rng.reseed(cfg_.seed +
+                            0x9E3779B97F4A7C15ULL * (spout_index + 1));
+        t->next_root = 1 + spout_index;
+        t->root_stride = total_spouts;
+        ++spout_index;
       } else {
         t->bolt = spec.bolt_factory();
         t->bolt->prepare(ctx);
@@ -715,6 +730,7 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
   window_start_ = warmup;
   window_end_ = warmup + measure;
   report_ = RunReport{};
+  report_.parallel = parallel_info_;  // decided once, at construction
   report_.variant = cfg_.variant.name();
   report_.warmup = warmup;
   report_.window = measure;
@@ -1032,15 +1048,20 @@ void Engine::finalize_report(Duration measure) {
 void Engine::schedule_arrival(int task) {
   auto& t = *tasks_[static_cast<size_t>(task)];
   const auto& op = topo_.ops[static_cast<size_t>(t.op)];
+  // Schedule against the spout's own partition: the initial call runs on
+  // the coordinator thread, and the arrival chain must live where the
+  // spout's node lives. All later hops re-enter from that partition's
+  // thread, where node_sim(t.node) == cur_sim().
+  sim::Simulation& s = node_sim(t.node);
   const double rate =
-      op.rate.rate_at(cur_sim().now()) / static_cast<double>(op.parallelism);
+      op.rate.rate_at(s.now()) / static_cast<double>(op.parallelism);
   if (rate <= 0.0) {
     // Idle spout: poll again soon in case a rate step begins.
-    cur_sim().schedule_after(ms(10), [this, task] { schedule_arrival(task); });
+    s.schedule_after(ms(10), [this, task] { schedule_arrival(task); });
     return;
   }
-  const Duration gap = from_seconds(rng_.exponential(rate));
-  cur_sim().schedule_after(gap, [this, task] {
+  const Duration gap = from_seconds(t.spout_rng.exponential(rate));
+  s.schedule_after(gap, [this, task] {
     auto& tk = *tasks_[static_cast<size_t>(task)];
     if (workers_[static_cast<size_t>(tk.worker)]->down) {
       // Crashed worker emits nothing; keep polling so the spout resumes
@@ -1049,11 +1070,15 @@ void Engine::schedule_arrival(int task) {
       return;
     }
     auto tuple = std::allocate_shared<dsps::Tuple>(
-        SlabAllocator<dsps::Tuple>{}, tk.spout->next(rng_));
+        SlabAllocator<dsps::Tuple>{}, tk.spout->next(tk.spout_rng));
     auto* mut = const_cast<dsps::Tuple*>(tuple.get());
-    mut->root_id = next_root_id_++;
+    mut->root_id = tk.next_root;
+    tk.next_root += tk.root_stride;
     mut->root_emit_time = cur_sim().now();
-    if (in_window()) ++report_.roots_emitted;
+    if (in_window()) {
+      auto lk = shared_guard();
+      ++report_.roots_emitted;
+    }
     if (c_roots_) c_roots_->inc();
     if (trace_on() && tracer_.sampled(mut->root_id)) {
       tracer_.instant("spout.emit", "app", tk.worker, obs::kLaneApp,
@@ -1072,7 +1097,10 @@ void Engine::schedule_arrival(int task) {
     Delivery arrival{tuple, 0};
     arrival.gen = recovery_gen_;
     if (!tk.in_queue->try_push(std::move(arrival))) {
-      if (in_window()) ++report_.input_drops;
+      if (in_window()) {
+        auto lk = shared_guard();
+        ++report_.input_drops;
+      }
       if (c_input_drops_) c_input_drops_->inc();
       if (cfg_.enable_acking) acker_.fail(tuple->root_id);
     }

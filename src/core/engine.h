@@ -67,6 +67,16 @@ class Engine {
   // True when this run executes on the parallel kernel (cfg.sim.threads
   // opted in AND the configuration was provably safe to partition).
   bool parallel() const { return psim_ != nullptr; }
+  // The partitioner's decision: engaged / partition count / threads, or the
+  // first disqualifying knob. Available from construction (before run());
+  // run() copies it into the report's `parallel` block.
+  const RunReport::ParallelDecision& parallel_decision() const {
+    return parallel_info_;
+  }
+  // Node -> partition map of the engaged kernel; empty on serial runs.
+  std::vector<int> node_partition_map() const {
+    return psim_ ? psim_->node_partition_map() : std::vector<int>{};
+  }
   net::Fabric& fabric() { return *fabric_; }
   const EngineConfig& config() const { return cfg_; }
 
@@ -171,6 +181,17 @@ class Engine {
     // back with everything else.
     std::vector<std::unique_ptr<dsps::PartitioningStrategy>> strategies;
     Duration busy_snapshot = 0;
+
+    // Per-spout-instance arrival state (DESIGN.md §13): each spout instance
+    // draws its arrival gaps and tuple content from its own deterministically
+    // seeded RNG and allocates root ids from its own disjoint stream
+    // (next_root += root_stride, stride = total spout instances). Identical
+    // on the serial and parallel paths — serial stays the ground truth —
+    // and it is what lets spout-hosting nodes partition like any other node
+    // instead of folding into partition 0. Unused (stride 0) for bolts.
+    Rng spout_rng{0};
+    uint64_t next_root = 0;
+    uint64_t root_stride = 0;
 
     // Checkpointing (src/state). Alignment is per input channel: a channel
     // key is (stream << 32) | src_task, expected_barriers is the number of
@@ -441,7 +462,8 @@ class Engine {
   // Serializes cross-partition updates to report_ and the track maps on
   // parallel runs (see shared_guard()); never taken on serial runs.
   std::mutex shared_mu_;
-  Rng rng_;
+  // The partitioner's decision, fixed at construction (setup_parallel).
+  RunReport::ParallelDecision parallel_info_;
 
   std::vector<std::unique_ptr<sim::CorePool>> core_pools_;  // per node
   std::vector<std::unique_ptr<TaskRt>> tasks_;
@@ -496,7 +518,6 @@ class Engine {
   uint64_t recovery_gen_ = 0;
   Time epoch_inject_time_ = 0;
 
-  uint64_t next_root_id_ = 1;
   int primary_src_task_ = -1;  // source of the first all-grouped stream
   int primary_src_worker_ = -1;
   Time window_start_ = 0;

@@ -98,7 +98,10 @@ class Spout {
  public:
   virtual ~Spout() = default;
   virtual void prepare(const TaskContext&) {}
-  // Produces the next root tuple (called once per arrival event).
+  // Produces the next root tuple (called once per arrival event). The
+  // engine passes this spout *instance's* own deterministically seeded
+  // RNG — instances never share a stream, so emission is reproducible
+  // regardless of how instances interleave across partitions.
   virtual Tuple next(Rng& rng) = 0;
   // Modeled CPU time to produce one tuple (reading from the source queue).
   virtual Duration emit_cost() const { return us(2); }

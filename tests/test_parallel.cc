@@ -19,10 +19,23 @@
 //     run with cfg.sim.threads in {2, 4, hardware_concurrency}, matches
 //     the committed serial baseline bit-for-bit. The fingerprint embeds
 //     events=, so event-count parity is asserted by the same comparison.
+//
+//  4. Eligibility matrix: every disqualifying knob, toggled one at a
+//     time, must fall back to serial with RunReport.parallel naming that
+//     knob in fallback_reason; the all-clear config must engage with one
+//     partition per node.
+//
+//  5. Partition-map properties over randomized topologies: the map covers
+//     all nodes, spout-hosting nodes land in distinct partitions (the
+//     per-spout split — no more fold into partition 0), partition 0 is
+//     anchored, and the cross-partition merge key (time, src_partition,
+//     append index) is a total order.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -32,6 +45,7 @@
 
 #include "apps/fingerprint_suite.h"
 #include "apps/ride_hailing_app.h"
+#include "common/rng.h"
 #include "core/engine.h"
 #include "net/cluster.h"
 #include "net/fabric.h"
@@ -350,6 +364,246 @@ TEST(ParallelEngineParity, AllProbesMatchBaselineAtEveryThreadCount) {
       EXPECT_EQ(got.fingerprint, it->second)
           << got.label << " at threads=" << threads;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Eligibility matrix: every disqualifying knob names itself
+// ---------------------------------------------------------------------------
+
+// One knob flipped per case, on top of an otherwise-eligible config
+// (Storm variant, threads=4, 8 nodes). setup_parallel checks the knobs in
+// a fixed order and fallback_reason must name the FIRST disqualifying
+// one, so each expectation here pins both the decision and the order.
+TEST(ParallelEligibility, EachKnobNamesItselfInFallbackReason) {
+  using whale::core::EngineConfig;
+  const auto topo =
+      whale::apps::build_ride_hailing(probe_ride_params()).topology;
+  struct Case {
+    const char* expect;
+    std::function<void(EngineConfig&)> flip;
+  };
+  const Case cases[] = {
+      {"not_requested", [](EngineConfig& c) { c.sim.threads = 0; }},
+      {"not_requested", [](EngineConfig& c) { c.sim.threads = 1; }},
+      {"acking", [](EngineConfig& c) { c.enable_acking = true; }},
+      // Acking precedes replay in the eligibility order, so both-on
+      // reports acking; replay alone names itself.
+      {"acking",
+       [](EngineConfig& c) {
+         c.enable_acking = true;
+         c.replay_on_failure = true;
+       }},
+      {"replay", [](EngineConfig& c) { c.replay_on_failure = true; }},
+      {"faults",
+       [](EngineConfig& c) {
+         c.faults.crashes.push_back(
+             {/*node=*/1, /*at=*/whale::ms(10),
+              /*restart_after=*/whale::ms(5)});
+       }},
+      {"state", [](EngineConfig& c) { c.state.enabled = true; }},
+      {"obs", [](EngineConfig& c) { c.obs.metrics_enabled = true; }},
+      {"obs", [](EngineConfig& c) { c.obs.tracing_enabled = true; }},
+      {"optimized_rdma",
+       [](EngineConfig& c) {
+         c.variant = whale::core::SystemVariant::WhaleWocRdma();
+       }},
+      // The full Whale variant rides the optimized transport AND the
+      // non-blocking tree; the transport is checked first.
+      {"optimized_rdma",
+       [](EngineConfig& c) {
+         c.variant = whale::core::SystemVariant::Whale();
+       }},
+      {"nonblocking_mcast",
+       [](EngineConfig& c) {
+         c.variant = {whale::core::CommMode::kWorker,
+                      whale::core::TransportMode::kRdmaSendRecv,
+                      whale::core::McastMode::kNonblocking};
+       }},
+  };
+  for (const auto& cs : cases) {
+    SCOPED_TRACE(cs.expect);
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.sim.threads = 4;
+    cs.flip(cfg);
+    whale::core::Engine e(cfg, topo);
+    const auto& d = e.parallel_decision();
+    EXPECT_FALSE(e.parallel());
+    EXPECT_FALSE(d.engaged);
+    EXPECT_EQ(d.fallback_reason, cs.expect);
+    EXPECT_EQ(d.num_partitions, 0);
+  }
+}
+
+TEST(ParallelEligibility, LoadAwareStrategyFallsBack) {
+  // po2c reads live cross-partition queue depths at routing time — the
+  // one disqualifier that lives in the topology, not the config.
+  struct OneSpout : whale::dsps::Spout {
+    whale::dsps::Tuple next(whale::Rng&) override { return {}; }
+  };
+  struct OneBolt : whale::dsps::Bolt {
+    Duration execute(const whale::dsps::Tuple&,
+                     whale::dsps::Emitter&) override {
+      return us(2);
+    }
+  };
+  whale::dsps::TopologyBuilder b;
+  const int s = b.add_spout(
+      "s", [] { return std::make_unique<OneSpout>(); }, 1,
+      whale::dsps::RateProfile::constant(500));
+  const int m = b.add_bolt(
+      "m", [] { return std::make_unique<OneBolt>(); }, 4);
+  b.connect(s, m, whale::dsps::Grouping::kLoadAwareShuffle);
+  auto cfg = probe_config(whale::core::SystemVariant::Storm());
+  cfg.sim.threads = 4;
+  whale::core::Engine e(cfg, b.build());
+  EXPECT_FALSE(e.parallel());
+  EXPECT_EQ(e.parallel_decision().fallback_reason, "load_aware_strategy");
+}
+
+TEST(ParallelEligibility, SingleNodeClusterFallsBack) {
+  auto cfg = probe_config(whale::core::SystemVariant::Storm());
+  cfg.cluster.num_nodes = 1;
+  cfg.sim.threads = 4;
+  whale::core::Engine e(
+      cfg, whale::apps::build_ride_hailing(probe_ride_params()).topology);
+  EXPECT_FALSE(e.parallel());
+  EXPECT_EQ(e.parallel_decision().fallback_reason, "single_partition");
+}
+
+TEST(ParallelEligibility, AllClearEngagesWithPerNodePartitions) {
+  const auto topo =
+      whale::apps::build_ride_hailing(probe_ride_params()).topology;
+  {
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.sim.threads = 4;
+    whale::core::Engine e(cfg, topo);
+    const auto& d = e.parallel_decision();
+    EXPECT_TRUE(d.engaged);
+    EXPECT_EQ(d.fallback_reason, "");
+    EXPECT_EQ(d.num_partitions, 8);  // one per node, spout nodes included
+    EXPECT_EQ(d.threads, 4);
+    // The decision must surface through the report too.
+    const auto& r = e.run(whale::ms(10), whale::ms(20));
+    EXPECT_TRUE(r.parallel.engaged);
+    EXPECT_EQ(r.parallel.num_partitions, 8);
+  }
+  {
+    // More threads than partitions: executing threads are clamped.
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.sim.threads = 32;
+    whale::core::Engine e(cfg, topo);
+    EXPECT_EQ(e.parallel_decision().threads, 8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Partition-map properties and the merge total order
+// ---------------------------------------------------------------------------
+
+// Randomized (seeded) topology shapes and cluster sizes: the engaged map
+// must cover all nodes with every partition id in range, anchor partition
+// 0, and put spout-hosting nodes in DISTINCT partitions — the per-spout
+// split; the old fold collapsed them all into partition 0.
+TEST(ParallelPartitionMap, RandomTopologiesCoverNodesAndSplitSpouts) {
+  struct MiniSpout : whale::dsps::Spout {
+    whale::dsps::Tuple next(whale::Rng& rng) override {
+      whale::dsps::Tuple t;
+      t.values.emplace_back(static_cast<int64_t>(rng.next_below(64)));
+      return t;
+    }
+  };
+  struct MiniBolt : whale::dsps::Bolt {
+    Duration execute(const whale::dsps::Tuple&,
+                     whale::dsps::Emitter&) override {
+      return us(2);
+    }
+  };
+  whale::Rng rng(2026);
+  for (int iter = 0; iter < 12; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    const int nodes = 2 + static_cast<int>(rng.next_below(15));
+    whale::dsps::TopologyBuilder b;
+    const int num_spout_ops = 1 + static_cast<int>(rng.next_below(3));
+    std::vector<int> spout_parallelism;
+    std::vector<int> spout_ids;
+    for (int sp = 0; sp < num_spout_ops; ++sp) {
+      const int par = 1 + static_cast<int>(rng.next_below(4));
+      spout_parallelism.push_back(par);
+      spout_ids.push_back(b.add_spout(
+          "s" + std::to_string(sp),
+          [] { return std::make_unique<MiniSpout>(); }, par,
+          whale::dsps::RateProfile::constant(300)));
+    }
+    const int sink = b.add_bolt(
+        "sink", [] { return std::make_unique<MiniBolt>(); },
+        1 + static_cast<int>(rng.next_below(4)));
+    for (int s : spout_ids) {
+      b.connect(s, sink,
+                rng.next_below(2) ? whale::dsps::Grouping::kShuffle
+                                  : whale::dsps::Grouping::kFields);
+    }
+    auto cfg = probe_config(whale::core::SystemVariant::Storm());
+    cfg.cluster.num_nodes = nodes;
+    cfg.sim.threads = 2 + static_cast<int>(rng.next_below(7));
+    whale::core::Engine e(cfg, b.build());
+    ASSERT_TRUE(e.parallel());
+    const auto map = e.node_partition_map();
+    const int parts = e.parallel_decision().num_partitions;
+    ASSERT_EQ(map.size(), static_cast<size_t>(nodes));
+    std::set<int> used;
+    for (int p : map) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, parts);
+      used.insert(p);
+    }
+    // The map covers every partition (no empty shards) and anchors 0.
+    EXPECT_EQ(static_cast<int>(used.size()), parts);
+    EXPECT_TRUE(used.count(0));
+    // Spout placement mirrors build_runtime: instance i of an operator
+    // lands on node i % nodes. Distinct spout-hosting nodes must map to
+    // distinct partitions — the fold into partition 0 is gone.
+    std::set<int> spout_nodes;
+    for (int par : spout_parallelism) {
+      for (int i = 0; i < par; ++i) spout_nodes.insert(i % nodes);
+    }
+    std::set<int> spout_parts;
+    for (int n : spout_nodes) {
+      spout_parts.insert(map[static_cast<size_t>(n)]);
+    }
+    EXPECT_EQ(spout_parts.size(), spout_nodes.size())
+        << "spout-hosting nodes share a partition";
+  }
+}
+
+// Pins the merge key itself: entries landing on one destination with ties
+// in arrival time must execute ordered by (time, src_partition, append
+// index) — and identically at every thread count. Distinct keys always
+// compare strictly one way (a total order): ties on time break by src,
+// ties on (time, src) break by append index.
+TEST(ParallelKernel, CrossPartitionMergeOrderIsATotalOrder) {
+  const std::vector<int> expected = {0,  1,  10, 11, 20, 21,  // t = 5us
+                                     2,  12, 22};             // t = 7us
+  for (int threads : {1, 2, 4}) {
+    std::vector<int> node_part = {0, 1, 2, 3};
+    whale::sim::ParallelSimulation ps(node_part, 4, threads);
+    ps.set_lookahead(us(5));
+    // Execution order at the destination, single-writer (partition 3).
+    std::vector<int> order;
+    for (int src = 0; src < 3; ++src) {
+      ps.partition(src).schedule_at(0, [&ps, &order, src] {
+        // Append order within a src: tag src*10+0 before src*10+1 at the
+        // same arrival time; src*10+2 arrives later than both.
+        ps.post_after(3, us(5) + us(2),
+                      [&order, src] { order.push_back(src * 10 + 2); });
+        ps.post_after(3, us(5),
+                      [&order, src] { order.push_back(src * 10 + 0); });
+        ps.post_after(3, us(5),
+                      [&order, src] { order.push_back(src * 10 + 1); });
+      });
+    }
+    ps.run_until(whale::ms(1));
+    EXPECT_EQ(order, expected) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,187 @@
+// Seeded determinism stress sweep for the parallel kernel (DESIGN.md §13).
+//
+// Random (topology shape, seed, thread count) combos, every one asserting
+// the serial and parallel fingerprints are bit-identical. The shapes are
+// deliberately spout-heavy: multiple spout operators with parallelism > 1
+// spread across nodes — exactly the topologies that used to fold every
+// spout-hosting node into partition 0 (the per-spout RNG / root-id split
+// is what makes them partition per node now), so a regression in the
+// split shows up here as a fingerprint divergence, not just a slowdown.
+//
+// Only parallel-eligible variants appear (no optimized-RDMA transport, no
+// non-blocking tree): the point is to exercise the engaged kernel, and
+// the eligibility matrix itself is pinned in test_parallel.cc.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/ride_hailing_app.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dsps/topology.h"
+
+namespace {
+
+using whale::Duration;
+using whale::us;
+
+class KeyedSpout : public whale::dsps::Spout {
+ public:
+  whale::dsps::Tuple next(whale::Rng& rng) override {
+    whale::dsps::Tuple t;
+    t.values.emplace_back(static_cast<int64_t>(rng.next_below(512)));
+    t.values.emplace_back(std::string(64, 'p'));
+    return t;
+  }
+};
+
+class ForwardBolt : public whale::dsps::Bolt {
+ public:
+  Duration execute(const whale::dsps::Tuple& in,
+                   whale::dsps::Emitter& out) override {
+    out.emit(in);
+    return us(3);
+  }
+};
+
+class SinkBolt : public whale::dsps::Bolt {
+ public:
+  Duration execute(const whale::dsps::Tuple&,
+                   whale::dsps::Emitter&) override {
+    return us(2);
+  }
+};
+
+whale::dsps::Grouping random_grouping(whale::Rng& rng) {
+  switch (rng.next_below(3)) {
+    case 0:
+      return whale::dsps::Grouping::kShuffle;
+    case 1:
+      return whale::dsps::Grouping::kFields;
+    default:
+      return whale::dsps::Grouping::kGlobal;
+  }
+}
+
+// Multi-spout random topology: 1..3 spout operators (parallelism 1..4
+// each — up to 12 spout instances spread over the nodes), an optional
+// forwarding layer, and a shared sink.
+whale::dsps::Topology random_topo(whale::Rng& rng) {
+  whale::dsps::TopologyBuilder b;
+  const int num_spout_ops = 1 + static_cast<int>(rng.next_below(3));
+  std::vector<int> spouts;
+  for (int i = 0; i < num_spout_ops; ++i) {
+    spouts.push_back(b.add_spout(
+        "s" + std::to_string(i), [] { return std::make_unique<KeyedSpout>(); },
+        1 + static_cast<int>(rng.next_below(4)),
+        whale::dsps::RateProfile::constant(
+            400.0 + 200.0 * static_cast<double>(rng.next_below(6)))));
+  }
+  const bool mid_layer = rng.next_below(2) != 0;
+  int join = -1;
+  if (mid_layer) {
+    join = b.add_bolt("fwd", [] { return std::make_unique<ForwardBolt>(); },
+                      1 + static_cast<int>(rng.next_below(4)));
+  }
+  const int sink = b.add_bolt(
+      "sink", [] { return std::make_unique<SinkBolt>(); },
+      1 + static_cast<int>(rng.next_below(4)));
+  for (int s : spouts) {
+    b.connect(s, mid_layer ? join : sink, random_grouping(rng));
+  }
+  if (mid_layer) b.connect(join, sink, random_grouping(rng));
+  return b.build();
+}
+
+whale::core::SystemVariant random_eligible_variant(whale::Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0:
+      return whale::core::SystemVariant::Storm();
+    case 1:
+      return whale::core::SystemVariant::RdmaStorm();
+    case 2:
+      return whale::core::SystemVariant::Rdmc();
+    default:
+      return whale::core::SystemVariant::WhaleWoc();
+  }
+}
+
+std::string run_fingerprint(const whale::dsps::Topology& topo,
+                            const whale::core::EngineConfig& base,
+                            int threads, bool* engaged) {
+  whale::core::EngineConfig cfg = base;
+  cfg.sim.threads = threads;
+  whale::core::Engine e(cfg, topo);
+  if (engaged) *engaged = e.parallel();
+  return e.run(whale::ms(40), whale::ms(160)).fingerprint();
+}
+
+TEST(ParallelFuzz, SerialParallelFingerprintParityOnRandomTopologies) {
+  int engaged_combos = 0;
+  int multi_spout_combos = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    whale::Rng rng(seed * 0x9E3779B97F4A7C15ULL);
+    whale::core::EngineConfig cfg;
+    cfg.cluster.num_nodes = 2 + static_cast<int>(rng.next_below(11));
+    cfg.cluster.cores_per_node = 16;
+    cfg.variant = random_eligible_variant(rng);
+    cfg.seed = 100 + seed;
+    const auto topo = random_topo(rng);
+    const int threads = 2 + static_cast<int>(rng.next_below(7));
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " nodes=" +
+                 std::to_string(cfg.cluster.num_nodes) + " threads=" +
+                 std::to_string(threads) + " variant=" + cfg.variant.name());
+
+    int spout_instances = 0;
+    for (const auto& op : topo.ops) {
+      if (op.is_spout) spout_instances += op.parallelism;
+    }
+    if (spout_instances > 1) ++multi_spout_combos;
+
+    const std::string serial =
+        run_fingerprint(topo, cfg, /*threads=*/0, nullptr);
+    bool engaged = false;
+    const std::string parallel =
+        run_fingerprint(topo, cfg, threads, &engaged);
+    ASSERT_TRUE(engaged);
+    ++engaged_combos;
+    EXPECT_EQ(serial, parallel);
+  }
+  EXPECT_EQ(engaged_combos, 20);
+  // The sweep must actually cover the interesting case: several combos
+  // with more than one spout instance (previously all folded into
+  // partition 0).
+  EXPECT_GE(multi_spout_combos, 10);
+}
+
+// The paper-cluster shape at test scale: many more nodes than the probe
+// suite uses (60), 8 driver-spout instances on distinct nodes, matching
+// fan-out — a shrunk fig-cluster300. Parity at threads {2, 4}.
+TEST(ParallelFuzz, ClusterShapeParityWithManySpoutNodes) {
+  whale::apps::RideHailingAppParams p;
+  p.matching_parallelism = 120;
+  p.aggregation_parallelism = 16;
+  p.driver_spout_parallelism = 8;
+  p.workload.num_drivers = 4000;
+  p.request_rate = whale::dsps::RateProfile::constant(1500);
+  p.driver_rate = whale::dsps::RateProfile::constant(2000);
+  const auto topo = whale::apps::build_ride_hailing(p).topology;
+
+  whale::core::EngineConfig cfg;
+  cfg.cluster.num_nodes = 60;
+  cfg.cluster.cores_per_node = 16;
+  cfg.variant = whale::core::SystemVariant::WhaleWoc();
+  cfg.seed = 42;
+
+  const std::string serial = run_fingerprint(topo, cfg, 0, nullptr);
+  for (int threads : {2, 4}) {
+    bool engaged = false;
+    const std::string parallel =
+        run_fingerprint(topo, cfg, threads, &engaged);
+    ASSERT_TRUE(engaged) << "threads=" << threads;
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+}  // namespace

@@ -1,31 +1,38 @@
 #!/usr/bin/env python3
-"""Validate the parallel-kernel bench artifact (results/BENCH_parallel.json).
+"""Validate the parallel-kernel bench artifacts against the sweep manifest.
 
-Checks (stdlib only, exit non-zero on the first failure):
-  - top-level schema: bench tag, host_cores, sweep
-  - sweep: both fig-scale configs appear at every thread count in
-    {1, 2, 4, 8}; every row has numeric events/wall/rate fields
-  - determinism: within a config, `events` is identical at every thread
-    count (the parallel kernel is bit-identical to serial, so the amount
-    of simulated work cannot depend on the thread count), and the
-    parallel kernel actually engaged for threads >= 2
-  - speedup gate: when the recording host has >= 4 physical cores, at
-    least one config must reach >= 2.5x events/sec at 4 threads vs 1.
-    On smaller hosts the wall-clock columns carry no parallelism signal
-    (the partitions time-slice one core), so the gate is recorded as
-    skipped rather than silently passed.
+The manifest (bench/parallel_manifest.json) is the single source of truth
+for which (artifact, configs, threads) tuples exist: scripts/run_bench.sh
+runs exactly those sweeps and this validator checks exactly those sweeps,
+so a config cannot silently drop out of either side. A missing artifact or
+a missing sweep section is a loud failure, never a skip.
 
-Usage: tools/validate_parallel.py [path]
-       (default: results/BENCH_parallel.json)
+Per sweep (stdlib only, exit non-zero on the first failure):
+  - the artifact exists, parses, and carries the expected tags
+  - every (config, threads) point from the manifest appears exactly once;
+    every row has numeric events/wall/rate fields
+  - determinism: within a config, `events` AND the fingerprint digest
+    `fp` are identical at every thread count (the parallel kernel is
+    bit-identical to serial, so neither the amount of simulated work nor
+    any counter may depend on the thread count)
+  - engagement: threads=1 stays serial (num_partitions 0); threads>=2
+    engages with num_partitions >= the manifest's min_partitions (the
+    300-node cluster sweep pins all 300 — the spout fold would collapse
+    this)
+  - speedup gate (when the manifest sets one and the recording host has
+    >= 4 cores): at least one config must reach the gate at 4 threads vs
+    1. On smaller hosts the wall-clock columns carry no parallelism
+    signal (the partitions time-slice one core), so the gate is recorded
+    as skipped rather than silently passed.
+
+Usage: tools/validate_parallel.py [manifest]
+       (default: bench/parallel_manifest.json)
 """
 import json
 import pathlib
 import sys
 
-CONFIGS = ("fig13-ride", "fig21-mcast480")
-THREADS = (1, 2, 4, 8)
 ROW_FIELDS = ("threads", "events", "wall_ms", "events_per_sec")
-SPEEDUP_GATE = 2.5
 
 
 def fail(msg: str) -> None:
@@ -33,13 +40,22 @@ def fail(msg: str) -> None:
     raise SystemExit(1)
 
 
-def validate_sweep(sweep) -> dict:
+def load_json(path: pathlib.Path):
+    if not path.exists():
+        fail(f"{path} does not exist")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def validate_sweep(name, sweep, configs, threads, min_partitions) -> dict:
     if not isinstance(sweep, list) or not sweep:
-        fail("sweep must be a non-empty list")
+        fail(f"[{name}] sweep must be a non-empty list")
     points = {}
     for i, row in enumerate(sweep):
-        where = f"sweep[{i}]"
-        if row.get("config") not in CONFIGS:
+        where = f"[{name}] sweep[{i}]"
+        if row.get("config") not in configs:
             fail(f"{where}: unknown config {row.get('config')!r}")
         for f in ROW_FIELDS:
             if f not in row:
@@ -48,57 +64,105 @@ def validate_sweep(sweep) -> dict:
                 fail(f"{where} field '{f}' is not numeric: {row[f]!r}")
         if not isinstance(row.get("engaged"), bool):
             fail(f"{where} missing boolean field 'engaged'")
+        if not isinstance(row.get("num_partitions"), int):
+            fail(f"{where} missing integer field 'num_partitions'")
+        if not isinstance(row.get("fp"), str) or not row["fp"]:
+            fail(f"{where} missing fingerprint digest field 'fp'")
         key = (row["config"], row["threads"])
         if key in points:
             fail(f"{where}: duplicate point {key}")
         points[key] = row
 
-    for c in CONFIGS:
-        for t in THREADS:
+    for c in configs:
+        for t in threads:
             if (c, t) not in points:
-                fail(f"missing sweep point ({c}, threads={t})")
-        events = {points[(c, t)]["events"] for t in THREADS}
+                fail(f"[{name}] missing sweep point ({c}, threads={t})")
+        events = {points[(c, t)]["events"] for t in threads}
         if len(events) != 1:
-            fail(f"{c}: events differ across thread counts ({sorted(events)}) "
-                 "— parallel runs are not reproducing the serial run")
+            fail(f"[{name}] {c}: events differ across thread counts "
+                 f"({sorted(events)}) — parallel runs are not reproducing "
+                 "the serial run")
+        fps = {points[(c, t)]["fp"] for t in threads}
+        if len(fps) != 1:
+            fail(f"[{name}] {c}: fingerprints differ across thread counts "
+                 f"({sorted(fps)}) — parallel runs are not bit-identical "
+                 "to serial")
         if points[(c, 1)]["engaged"]:
-            fail(f"{c}: threads=1 must stay on the serial kernel")
-        for t in THREADS[1:]:
+            fail(f"[{name}] {c}: threads=1 must stay on the serial kernel")
+        if points[(c, 1)]["num_partitions"] != 0:
+            fail(f"[{name}] {c}: serial run reports "
+                 f"{points[(c, 1)]['num_partitions']} partitions, want 0")
+        for t in threads[1:]:
             if not points[(c, t)]["engaged"]:
-                fail(f"{c}: parallel kernel did not engage at threads={t}")
+                fail(f"[{name}] {c}: parallel kernel did not engage at "
+                     f"threads={t}")
+            got = points[(c, t)]["num_partitions"]
+            if got < min_partitions:
+                fail(f"[{name}] {c}: num_partitions {got} below the "
+                     f"manifest's {min_partitions} at threads={t} — "
+                     "nodes are folding into shared partitions")
         if points[(c, 1)]["events"] <= 0:
-            fail(f"{c}: no simulated work recorded")
+            fail(f"[{name}] {c}: no simulated work recorded")
     return points
 
 
-def main() -> None:
-    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
-                        else "results/BENCH_parallel.json")
-    if not path.exists():
-        fail(f"{path} does not exist")
-    try:
-        doc = json.loads(path.read_text())
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
+def validate_artifact(entry) -> str:
+    name = entry.get("name")
+    artifact = entry.get("artifact")
+    configs = entry.get("configs")
+    threads = entry.get("threads")
+    gate = entry.get("speedup_gate")
+    min_partitions = entry.get("min_partitions")
+    if not name or not artifact or not configs or not threads:
+        fail(f"manifest sweep entry malformed: {entry!r}")
+    if not isinstance(min_partitions, int) or min_partitions < 1:
+        fail(f"[{name}] manifest min_partitions invalid: {min_partitions!r}")
+    if 1 not in threads or len(threads) < 2:
+        fail(f"[{name}] manifest threads must include 1 and a parallel "
+             f"count: {threads!r}")
+
+    doc = load_json(pathlib.Path(artifact))
     if doc.get("bench") != "parallel":
-        fail(f"unexpected bench tag: {doc.get('bench')!r}")
+        fail(f"[{name}] unexpected bench tag: {doc.get('bench')!r}")
+    if doc.get("sweep_name") != name:
+        fail(f"[{name}] {artifact} carries sweep_name "
+             f"{doc.get('sweep_name')!r} — stale artifact?")
     cores = doc.get("host_cores")
     if not isinstance(cores, int) or cores < 1:
-        fail(f"host_cores missing or invalid: {cores!r}")
-    points = validate_sweep(doc.get("sweep"))
+        fail(f"[{name}] host_cores missing or invalid: {cores!r}")
+    if "sweep" not in doc:
+        fail(f"[{name}] {artifact} has no 'sweep' section")
+    points = validate_sweep(name, doc["sweep"], tuple(configs),
+                            tuple(threads), min_partitions)
 
-    best = max(points[(c, 4)]["events_per_sec"] / points[(c, 1)]["events_per_sec"]
-               for c in CONFIGS)
+    if gate is None:
+        return (f"[{name}] {artifact}: {len(points)} points, determinism + "
+                f"partition-count checks pass (no speedup gate)")
+    probe = 4 if 4 in threads else max(t for t in threads if t > 1)
+    best = max(points[(c, probe)]["events_per_sec"] /
+               points[(c, 1)]["events_per_sec"] for c in configs)
     if cores >= 4:
-        if best < SPEEDUP_GATE:
-            fail(f"best 4-thread speedup {best:.2f}x below the "
-                 f"{SPEEDUP_GATE}x gate on a {cores}-core host")
-        print(f"OK: {path} — {len(points)} points, best 4-thread speedup "
-              f"{best:.2f}x (gate {SPEEDUP_GATE}x, host_cores={cores})")
-    else:
-        print(f"OK: {path} — {len(points)} points, determinism checks pass; "
-              f"speedup gate SKIPPED (host_cores={cores} < 4, recorded "
-              f"4-thread ratio {best:.2f}x carries no parallelism signal)")
+        if best < gate:
+            fail(f"[{name}] best {probe}-thread speedup {best:.2f}x below "
+                 f"the {gate}x gate on a {cores}-core host")
+        return (f"[{name}] {artifact}: {len(points)} points, best "
+                f"{probe}-thread speedup {best:.2f}x (gate {gate}x, "
+                f"host_cores={cores})")
+    return (f"[{name}] {artifact}: {len(points)} points, determinism checks "
+            f"pass; speedup gate SKIPPED (host_cores={cores} < 4, recorded "
+            f"{probe}-thread ratio {best:.2f}x carries no parallelism "
+            "signal)")
+
+
+def main() -> None:
+    manifest_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                                 else "bench/parallel_manifest.json")
+    manifest = load_json(manifest_path)
+    sweeps = manifest.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        fail(f"{manifest_path} has no 'sweeps' list")
+    for entry in sweeps:
+        print("OK:", validate_artifact(entry))
 
 
 if __name__ == "__main__":
