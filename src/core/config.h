@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/time.h"
+#include "elastic/elastic.h"
 #include "faults/plan.h"
 #include "multicast/controller.h"
 #include "net/cluster.h"
@@ -108,6 +109,12 @@ struct EngineConfig {
   // asynchronous snapshots, exactly-once recovery. Same zero-overhead
   // contract as obs: default-off, fingerprints identical when off.
   state::StateConfig state;
+
+  // Elastic rescaling layer (src/elastic): gauge-driven grow/shrink of
+  // operator parallelism with live keyed-state migration and rack-aware
+  // placement. Requires state.enabled with aligned barriers. Same
+  // zero-overhead contract: default-off, fingerprints identical when off.
+  elastic::ElasticConfig elastic;
 };
 
 }  // namespace whale::core

@@ -129,6 +129,10 @@ Engine::Engine(EngineConfig cfg, dsps::Topology topo)
         0);
   }
   stream_instance_snap_ = stream_instance_counts_;
+  // Elastic controllers need the wired runtime (registered state cells
+  // decide eligibility, mcast groups take the d* probes); obs comes after
+  // so the elastic.* counters can bind to live controllers.
+  if (elastic_on()) elastic_setup();
   obs_setup();
 }
 
@@ -148,6 +152,7 @@ void Engine::setup_parallel() {
   if (cfg_.enable_acking) return fallback("acking");
   if (cfg_.replay_on_failure) return fallback("replay");
   if (!cfg_.faults.empty()) return fallback("faults");
+  if (cfg_.elastic.enabled) return fallback("elastic");
   if (cfg_.state.enabled) return fallback("state");
   if (cfg_.obs.metrics_enabled || cfg_.obs.tracing_enabled) {
     return fallback("obs");
@@ -261,6 +266,24 @@ void Engine::obs_setup() {
       metrics_.gauge("state.mr_registered_bytes", [this] {
         return static_cast<double>(remote_state_->stats().region_bytes);
       });
+    }
+  }
+  if (elastic_on()) {
+    c_el_polls_ = metrics_.counter("elastic.polls");
+    c_el_ups_ = metrics_.counter("elastic.scale_ups");
+    c_el_downs_ = metrics_.counter("elastic.scale_downs");
+    c_el_canceled_ = metrics_.counter("elastic.rescales_canceled");
+    c_el_moved_bytes_ = metrics_.counter("elastic.state_bytes_moved");
+    c_el_stale_drops_ = metrics_.counter("elastic.stale_drops");
+    for (size_t op = 0; op < escalers_.size(); ++op) {
+      if (!escalers_[op]) continue;
+      elastic::ScalingController* sc = escalers_[op].get();
+      const std::string prefix = "elastic.op" + std::to_string(op);
+      metrics_.gauge(prefix + ".parallelism", [sc] {
+        return static_cast<double>(sc->parallelism());
+      });
+      metrics_.gauge(prefix + ".backlog_ewma",
+                     [sc] { return sc->backlog_ewma(); });
     }
   }
 
@@ -819,6 +842,17 @@ const RunReport& Engine::run(Duration warmup, Duration measure) {
     });
   }
 
+  // Elastic scaling polls (src/elastic). Zero-overhead contract again:
+  // with elasticity off no controllers exist and no events are scheduled.
+  if (elastic_on()) {
+    loop_async([this](auto next) {
+      cur_sim().schedule_after(cfg_.elastic.poll_interval, [this, next] {
+        elastic_tick();
+        if (cur_sim().now() < window_end_) next();
+      });
+    });
+  }
+
   if (psim_) {
     // Stop the world at the window start so the snapshot callback (and any
     // exact-boundary event) executes with every partition quiesced, then
@@ -956,8 +990,11 @@ void Engine::finalize_report(Duration measure) {
 
   for (const auto& g : groups_) {
     if (g->controller) {
-      report_.scale_ups += g->controller->scale_ups();
-      report_.scale_downs += g->controller->scale_downs();
+      // Carries cover controllers an elastic rescale replaced mid-run;
+      // they stay 0 (and the totals byte-identical) with elasticity off.
+      report_.scale_ups += g->carry_scale_ups + g->controller->scale_ups();
+      report_.scale_downs +=
+          g->carry_scale_downs + g->controller->scale_downs();
       report_.final_dstar = g->controller->dstar();
     }
   }
@@ -993,6 +1030,13 @@ void Engine::finalize_report(Duration measure) {
       report_.mr_regions = rs.regions;
       report_.mr_region_bytes = rs.region_bytes;
       report_.mr_region_grows = rs.region_grows;
+    }
+  }
+
+  if (elastic_on()) {
+    report_.elastic.enabled = true;
+    for (const auto& sc : escalers_) {
+      if (sc) report_.elastic.polls += sc->polls();
     }
   }
 
@@ -1117,6 +1161,10 @@ void Engine::schedule_arrival(int task) {
 void Engine::pump_task(TaskRt& t) {
   if (t.processing) return;
   if (workers_[static_cast<size_t>(t.worker)]->down) return;
+  // Elastic fences: a retired instance never runs again; a quiesced one
+  // holds still until its rescale epoch commits (or aborts). Plain bool
+  // reads — no cost on elastic-off runs.
+  if (!t.active || t.quiesced) return;
   // Deliveries stashed behind a completed/aborted barrier go first: they
   // arrived before anything still waiting in the in-queue.
   if (state_on() && !t.aligning && !t.align_buf.empty()) {
@@ -1363,6 +1411,16 @@ void Engine::deliver_local(TaskRt& dst,
     // No NACK from a dead worker: the loss surfaces as an ack timeout.
     ++tuples_lost_;
     if (c_lost_) c_lost_->inc();
+    return;
+  }
+  if (!dst.active) {
+    // Stale wire copy addressed to an instance a rescale retired. The
+    // quiesce protocol makes this structurally unreachable for data (every
+    // upstream of a rescaled operator fences before the commit retires
+    // anything), so this counter doubles as a proof obligation: the
+    // conservation sweep in tools/validate_elastic.py asserts it stays 0.
+    ++report_.elastic.stale_drops;
+    if (c_el_stale_drops_) c_el_stale_drops_->inc();
     return;
   }
   // All-grouped deliveries feed the multicast-reception tracker.
@@ -2693,6 +2751,18 @@ void Engine::checkpoint_tick() {
 void Engine::inject_epoch() {
   const uint64_t epoch = checkpoints_.begin_epoch(cur_sim().now());
   epoch_inject_time_ = cur_sim().now();
+  // An adopted rescale plan rides the next epoch: its barriers quiesce the
+  // affected operators at alignment, and the commit runs the migration.
+  if (elastic_on() && pending_plan_ && rescale_epoch_ == 0) {
+    rescale_epoch_ = epoch;
+    rescale_start_ = cur_sim().now();
+    if (trace_on()) {
+      tracer_.instant("rescale.begin", "elastic",
+                      primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                      obs::kLaneControl, cur_sim().now(),
+                      static_cast<uint64_t>(pending_plan_->op));
+    }
+  }
   bool ok = false;
   for (auto& tp : tasks_) {
     if (!tp->spout) continue;
@@ -2750,6 +2820,11 @@ void Engine::abort_epoch() {
     remote_state_->abort(epoch);
     for (auto& tp : tasks_) tp->store.drop_pending_baseline();
   }
+  // A rescale riding this epoch dies with it: release the quiesced tasks
+  // (the pumps below restart them) and put the controller back in steady
+  // state. The plan is NOT retried verbatim — if the backlog persists, the
+  // controller re-issues after its cooldown.
+  if (elastic_on() && epoch == rescale_epoch_) cancel_rescale();
   for (auto& tp : tasks_) {
     auto& t = *tp;
     if (t.aligning) {
@@ -2891,6 +2966,16 @@ void Engine::complete_alignment(TaskRt& t, uint64_t epoch) {
         forward_barrier(*traw, epoch, [this, traw, epoch, snap]() mutable {
           schedule_snapshot_write(*traw, epoch, std::move(snap),
                                   /*channel_bytes=*/0);
+          // Quiesce for a rescale riding this epoch: the snapshot write is
+          // already in flight (commit never waits on a quiesced task) and
+          // the barrier is forwarded, so holding the executor here leaves
+          // every pre-epoch tuple processed and nothing new admitted —
+          // per-channel FIFO then guarantees the rescaled operator's
+          // queues are empty of this epoch's data at commit.
+          if (elastic_on() && epoch == rescale_epoch_ &&
+              in_quiesce_set(traw->op)) {
+            traw->quiesced = true;
+          }
           traw->processing = false;
           pump_task(*traw);
         });
@@ -3038,6 +3123,11 @@ void Engine::commit_epoch() {
       maybe_start_repair(*gp);
     }
   }
+  // A committed rescale epoch runs its migration now: every affected task
+  // is quiesced with its state captured in THIS epoch's committed images,
+  // no group is switching/repairing, and no barrier is in any tree — the
+  // one point in the protocol where the topology can change atomically.
+  if (elastic_on() && epoch == rescale_epoch_) execute_rescale(epoch);
 }
 
 void Engine::do_recover() {
@@ -3049,6 +3139,7 @@ void Engine::do_recover() {
   const uint64_t committed = checkpoints_.last_committed();
   for (auto& tp : tasks_) {
     auto& t = *tp;
+    if (!t.active) continue;  // retired by a rescale; nothing to roll back
     t.aligning = false;
     t.barriers_from.clear();
     t.capturing = false;
@@ -3111,6 +3202,7 @@ void Engine::do_recover() {
   // re-injected ahead of the spout replay (they are older than anything
   // the log re-emits) and flagged to bypass the sink dup filter.
   for (auto& tp : tasks_) {
+    if (!tp->active) continue;
     for (const auto& tup : checkpoints_.committed_channel(tp->id)) {
       Delivery d{std::make_shared<const dsps::Tuple>(tup), 0};
       d.gen = recovery_gen_;
@@ -3125,7 +3217,7 @@ void Engine::do_recover() {
   }
   // Rewind every spout to the committed epoch's source offsets.
   for (auto& tp : tasks_) {
-    if (!tp->spout) continue;
+    if (!tp->spout || !tp->active) continue;
     auto log = checkpoints_.uncommitted_emissions(tp->id);
     if (!log.empty()) replay_spout_log(*tp, std::move(log));
   }

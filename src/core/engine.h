@@ -29,6 +29,8 @@
 #include "dsps/acker.h"
 #include "dsps/partitioning.h"
 #include "dsps/topology.h"
+#include "elastic/controller.h"
+#include "elastic/placement.h"
 #include "faults/injector.h"
 #include "multicast/controller.h"
 #include "multicast/tree.h"
@@ -119,6 +121,20 @@ class Engine {
     return checkpoints_;
   }
 
+  // --- elastic rescaling (tests) ------------------------------------------
+  // Live parallelism of an operator (rescales update it in place).
+  int op_parallelism(int op) const {
+    return topo_.ops[static_cast<size_t>(op)].parallelism;
+  }
+  // False for retired (scaled-away) task slots; true otherwise.
+  bool task_active(int task) const {
+    return tasks_[static_cast<size_t>(task)]->active;
+  }
+  // Whether op can be elastically rescaled under the current topology and
+  // registered state (spouts, all-grouped sources and operators with
+  // non-keyed state cells cannot).
+  bool op_rescalable(int op) const;
+
  private:
   // An outbound message waiting in a worker's transfer queue.
   struct OutMsg {
@@ -175,6 +191,14 @@ class Engine {
     std::unique_ptr<dsps::Bolt> bolt;
     std::unique_ptr<dsps::Spout> spout;
     bool processing = false;
+    // Elastic rescaling (src/elastic; DESIGN.md §14). A retired instance
+    // stays in tasks_ (ids are stable engine-wide) but turns inactive:
+    // deliveries to it are counted stale drops and its executor never
+    // pumps again. `quiesced` fences a live instance during the migration
+    // window — set at its alignment of the rescale epoch, cleared (or
+    // turned into retirement) at the epoch's commit.
+    bool active = true;
+    bool quiesced = false;
     // Routing: one strategy per out stream (indexed like op.out_streams).
     // Stateful strategies (shuffle cursors, PKG tallies) are registered as
     // "__route.*" cells in `store`, so routing state checkpoints and rolls
@@ -279,6 +303,12 @@ class Engine {
     // barrier enters the tree), so an epoch is never split by a topology
     // change. abort_epoch() zeroes it, bounding deferral at one interval.
     int barrier_pending = 0;
+
+    // d* switch counts of controllers an elastic rescale replaced; added
+    // to the live controller's counts at finalize so the fingerprinted
+    // totals cover the whole run. Always 0 with elasticity off.
+    uint64_t carry_scale_ups = 0;
+    uint64_t carry_scale_downs = 0;
   };
 
   // Per-root-tuple multicast reception tracking (drives the multicast
@@ -413,6 +443,39 @@ class Engine {
   void do_recover();
   void replay_spout_log(TaskRt& s, std::vector<dsps::Tuple> tuples);
 
+  // --- elastic rescaling (src/elastic; engine_elastic.cc) -------------------
+  bool elastic_on() const {
+    return elastic::kCompiled && cfg_.elastic.enabled;
+  }
+  // Validates the config, builds one ScalingController per rescalable
+  // operator and (optionally) installs the d* backlog probes. Called from
+  // the ctor after build_mcast_groups.
+  void elastic_setup();
+  // Poll tick: feeds every controller its operator's backlog fraction;
+  // adopts the first plan issued (plans serialize engine-wide).
+  void elastic_tick();
+  // Smoothed in-queue occupancy of op's active instances, in [0, 1].
+  double op_backlog_frac(int op) const;
+  // Tasks of `op` plus every task of an upstream op: the quiesce set.
+  bool in_quiesce_set(int op) const {
+    return quiesce_ops_.count(op) != 0;
+  }
+  // Runs the adopted plan at its epoch's commit: merge + re-split keyed
+  // state, spawn/retire instances, rewire routing, rebuild mcast groups.
+  void execute_rescale(uint64_t epoch);
+  // The rescale epoch aborted (lost barrier, crash, wedge): release the
+  // quiesced tasks and return the controller to steady state.
+  void cancel_rescale();
+  // Picks the host node for a freshly spawned instance of `op`.
+  int place_instance(int op) const;
+  // Re-derives expected_barriers for every task whose input channel count
+  // changed (op's own tasks and all tasks downstream of op).
+  void recompute_expected_barriers();
+  // Rebuilds one mcast group's endpoint set / tree / controller after its
+  // destination operator rescaled. Shrinks route through tree.repair();
+  // grows rebuild the tree with rack-contiguous endpoint order.
+  void rescale_mcast_group(McastGroup& g);
+
   // --- metrics ----------------------------------------------------------------
   bool in_window() const {
     const Time now = cur_sim().now();
@@ -518,6 +581,16 @@ class Engine {
   uint64_t recovery_gen_ = 0;
   Time epoch_inject_time_ = 0;
 
+  // Elastic rescaling runtime (engine_elastic.cc). escalers_ is indexed by
+  // operator; null for ops the eligibility rules exclude. One plan is in
+  // flight engine-wide at a time: elastic_tick adopts it, the next
+  // inject_epoch stamps it onto rescale_epoch_, commit executes it.
+  std::vector<std::unique_ptr<elastic::ScalingController>> escalers_;
+  std::optional<elastic::RescalePlan> pending_plan_;
+  uint64_t rescale_epoch_ = 0;  // 0 = no rescale riding an epoch
+  Time rescale_start_ = 0;      // barrier injection time of that epoch
+  std::unordered_set<int> quiesce_ops_;  // ops whose tasks quiesce
+
   int primary_src_task_ = -1;  // source of the first all-grouped stream
   int primary_src_worker_ = -1;
   Time window_start_ = 0;
@@ -557,6 +630,13 @@ class Engine {
   obs::Counter* c_committed_ = nullptr;
   obs::Counter* c_dup_filtered_ = nullptr;
   obs::Counter* c_ckpt_replays_ = nullptr;
+  // Elastic counters (elastic.* namespace).
+  obs::Counter* c_el_polls_ = nullptr;
+  obs::Counter* c_el_ups_ = nullptr;
+  obs::Counter* c_el_downs_ = nullptr;
+  obs::Counter* c_el_canceled_ = nullptr;
+  obs::Counter* c_el_moved_bytes_ = nullptr;
+  obs::Counter* c_el_stale_drops_ = nullptr;
 
   RunReport report_;
 };

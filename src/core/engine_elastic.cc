@@ -1,0 +1,593 @@
+// Elastic runtime rescaling (src/elastic; DESIGN.md §14).
+//
+// The engine side of the subsystem: eligibility, the poll loop feeding
+// the per-operator ScalingControllers, and the migration protocol that
+// executes an adopted plan at the commit of the epoch it rides.
+//
+// Protocol summary. elastic_tick adopts at most one plan engine-wide;
+// the next inject_epoch stamps it onto that epoch (rescale_epoch_). Every
+// task in the quiesce set — the rescaled operator plus every operator
+// with a stream into it — freezes at its own barrier alignment, AFTER
+// forwarding the barrier and launching its snapshot write, so the commit
+// never waits on a quiesced executor. Per-channel FIFO then guarantees
+// that when the epoch commits, the rescaled operator's queues hold no
+// data: everything its upstreams emitted before quiescing was processed
+// before the operator's own alignment. commit_epoch calls
+// execute_rescale at its very end — no epoch in flight, no group
+// switching or repairing, no barrier inside any tree — the one point
+// where the topology can change atomically. An epoch abort instead calls
+// cancel_rescale: the plan dies with the epoch (the controller re-issues
+// after its cooldown if the backlog persists).
+//
+// All of this runs on the serial kernel by construction: setup_parallel
+// names "elastic" as a fallback reason before anything here executes, so
+// no shared_guard locking appears below.
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "elastic/keyed.h"
+#include "elastic/placement.h"
+
+namespace whale::core {
+
+void Engine::elastic_setup() {
+  // The migration protocol is built on epoch barriers and the checkpoint
+  // coordinator's committed images; these are hard requirements, and a
+  // config that silently ran without them would look elastic while never
+  // preserving exactly-once across a rescale.
+  if (!state_on()) {
+    throw std::invalid_argument(
+        "elastic rescaling requires cfg.state.enabled: the rescale "
+        "protocol quiesces operators at epoch-barrier alignment");
+  }
+  if (cfg_.state.unaligned) {
+    throw std::invalid_argument(
+        "elastic rescaling requires aligned barriers (cfg.state.unaligned "
+        "off): quiesce happens at alignment, and an unaligned capture "
+        "window would leak post-snapshot effects past the cutover");
+  }
+  if (cfg_.state.remote) {
+    throw std::invalid_argument(
+        "elastic rescaling requires the local state backend "
+        "(cfg.state.remote off): migration merges the live local stores, "
+        "which would diverge from host-resident incremental images");
+  }
+  escalers_.resize(topo_.ops.size());
+  for (size_t op = 0; op < topo_.ops.size(); ++op) {
+    if (!op_rescalable(static_cast<int>(op))) continue;
+    escalers_[op] = std::make_unique<elastic::ScalingController>(
+        cfg_.elastic, static_cast<int>(op), topo_.ops[op].parallelism);
+  }
+  // Satellite wiring: the d* controllers of multicast groups feeding a
+  // rescalable operator see the scaling controller's smoothed backlog as
+  // a queue-length floor, so tree out-degree reacts to the same gauge
+  // stream the rescaler acts on. Never installed with elasticity off.
+  if (cfg_.elastic.drive_mcast_dstar) {
+    for (auto& gp : groups_) {
+      if (!gp->controller) continue;
+      elastic::ScalingController* sc =
+          escalers_[static_cast<size_t>(gp->dst_op)].get();
+      if (!sc) continue;
+      gp->controller->set_backlog_probe([sc] { return sc->backlog_ewma(); });
+    }
+  }
+}
+
+bool Engine::op_rescalable(int op) const {
+  const auto& spec = topo_.ops[static_cast<size_t>(op)];
+  // Spouts own arrival RNGs and disjoint root-id streams sized at build
+  // time; rescaling them would re-seed the workload mid-run.
+  if (spec.is_spout) return false;
+  // The source of an all-grouped stream must keep parallelism 1
+  // (build_mcast_groups enforces it), so it can never grow.
+  for (int sid : spec.out_streams) {
+    if (topo_.streams[static_cast<size_t>(sid)].grouping ==
+        dsps::Grouping::kAll) {
+      return false;
+    }
+  }
+  const auto& ids = op_tasks_[static_cast<size_t>(op)];
+  if (ids.empty()) return false;
+  // Every registered cell must be migratable: keyed cells re-split by
+  // key range, routing cells rebuild through rebalanced(). Any other
+  // cell is operator-private state the migration cannot redistribute.
+  const auto& store = tasks_[static_cast<size_t>(ids[0])]->store;
+  return !store.has_cell_matching([](const std::string& name) {
+    return !elastic::is_keyed_cell(name) && !dsps::is_routing_cell(name);
+  });
+}
+
+double Engine::op_backlog_frac(int op) const {
+  if (cfg_.executor_queue_capacity == 0) return 0.0;
+  double sum = 0.0;
+  int n = 0;
+  for (int tid : op_tasks_[static_cast<size_t>(op)]) {
+    const auto& t = *tasks_[static_cast<size_t>(tid)];
+    if (!t.active) continue;
+    sum += static_cast<double>(t.in_queue->size()) /
+           static_cast<double>(cfg_.executor_queue_capacity);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void Engine::elastic_tick() {
+  const Time now = cur_sim().now();
+  for (size_t op = 0; op < escalers_.size(); ++op) {
+    elastic::ScalingController* sc = escalers_[op].get();
+    if (!sc) continue;
+    if (c_el_polls_) c_el_polls_->inc();
+    auto plan = sc->on_sample(op_backlog_frac(static_cast<int>(op)), now);
+    if (!plan) continue;
+    if (pending_plan_) {
+      // Plans serialize engine-wide: a second issuer in the same window
+      // backs off into its cooldown and re-evaluates afterwards.
+      sc->abort(now);
+      continue;
+    }
+    pending_plan_ = *plan;
+    // Quiesce set: the rescaled operator plus every operator with a
+    // stream into it. Upstreams freeze so nothing is emitted toward the
+    // operator after its snapshot; transitive ancestors keep running —
+    // their output backs up in the quiesced executors' bounded queues
+    // for the one-epoch migration window.
+    quiesce_ops_.clear();
+    quiesce_ops_.insert(plan->op);
+    for (int sid : topo_.ops[op].in_streams) {
+      quiesce_ops_.insert(topo_.streams[static_cast<size_t>(sid)].from_op);
+    }
+    if (trace_on()) {
+      tracer_.instant("rescale.plan", "elastic",
+                      primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                      obs::kLaneControl, now,
+                      static_cast<uint64_t>(plan->op), "to",
+                      static_cast<double>(plan->to));
+    }
+  }
+}
+
+void Engine::cancel_rescale() {
+  if (pending_plan_) {
+    elastic::ScalingController* sc =
+        escalers_[static_cast<size_t>(pending_plan_->op)].get();
+    if (sc) sc->abort(cur_sim().now());
+    ++report_.elastic.rescales_canceled;
+    if (c_el_canceled_) c_el_canceled_->inc();
+    if (trace_on()) {
+      tracer_.instant("rescale.cancel", "elastic",
+                      primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                      obs::kLaneControl, cur_sim().now(),
+                      static_cast<uint64_t>(pending_plan_->op));
+    }
+  }
+  pending_plan_.reset();
+  rescale_epoch_ = 0;
+  quiesce_ops_.clear();
+  // Release only — abort_epoch's per-task loop pumps everyone right after
+  // this returns, so the frozen executors pick their queues back up.
+  for (auto& tp : tasks_) tp->quiesced = false;
+}
+
+int Engine::place_instance(int op) const {
+  std::vector<int> peers;
+  std::vector<int> load(static_cast<size_t>(cfg_.cluster.num_nodes), 0);
+  for (const auto& tp : tasks_) {
+    if (!tp->active) continue;
+    ++load[static_cast<size_t>(tp->node)];
+    if (tp->op == op) peers.push_back(tp->node);
+  }
+  return elastic::Placement(cfg_.cluster).pick(peers, load);
+}
+
+void Engine::recompute_expected_barriers() {
+  // op_tasks_ holds exactly the active instances after a rescale, so the
+  // per-channel count is re-derived the same way build_runtime derived it.
+  for (auto& tp : tasks_) {
+    if (!tp->active) continue;
+    const auto& spec = topo_.ops[static_cast<size_t>(tp->op)];
+    int expected = spec.is_spout ? 1 : 0;
+    for (int sid : spec.in_streams) {
+      expected += static_cast<int>(
+          op_tasks_[static_cast<size_t>(
+                        topo_.streams[static_cast<size_t>(sid)].from_op)]
+              .size());
+    }
+    tp->expected_barriers = expected;
+  }
+}
+
+void Engine::execute_rescale(uint64_t epoch) {
+  const elastic::RescalePlan plan = *pending_plan_;
+  const int opi = plan.op;
+  const auto& spec = topo_.ops[static_cast<size_t>(opi)];
+  const int old_n = static_cast<int>(op_tasks_[static_cast<size_t>(opi)].size());
+  const int new_n = plan.to;
+  const Time now = cur_sim().now();
+
+  // --- 1. merge + re-split keyed state --------------------------------------
+  // Every old instance is quiesced with this epoch's snapshot committed,
+  // so its live store equals its committed image; reading the live store
+  // avoids re-parsing coordinator blobs. keyed_names preserves first-seen
+  // registration order so rebuilt snapshots stay byte-stable.
+  std::vector<std::string> keyed_names;
+  std::unordered_map<std::string, std::vector<std::vector<uint8_t>>> bodies;
+  for (int tid : op_tasks_[static_cast<size_t>(opi)]) {
+    auto cells = elastic::parse_snapshot(
+        tasks_[static_cast<size_t>(tid)]->store.snapshot());
+    for (auto& [name, body] : cells) {
+      if (!elastic::is_keyed_cell(name)) continue;
+      if (bodies.find(name) == bodies.end()) keyed_names.push_back(name);
+      bodies[name].push_back(std::move(body));
+    }
+  }
+  elastic::SplitStats split_stats;
+  std::unordered_map<std::string, std::vector<std::vector<uint8_t>>> split;
+  for (const auto& name : keyed_names) {
+    split[name] = elastic::split_keyed_cell(
+        bodies[name], static_cast<size_t>(new_n), &split_stats);
+  }
+
+  // --- 2. retire / spawn instances ------------------------------------------
+  uint64_t retired = 0, spawned = 0;
+  if (new_n < old_n) {
+    // Retire the tail instances: op_tasks_ position i <-> instance i, and
+    // keeping the head preserves that invariant without renumbering.
+    for (int tid : op_tasks_[static_cast<size_t>(opi)]) {
+      auto& t = *tasks_[static_cast<size_t>(tid)];
+      if (t.instance < new_n) continue;
+      t.active = false;
+      t.quiesced = false;
+      t.processing = false;
+      // The quiesce protocol should have emptied these; drain defensively
+      // and surface anything present on the proof-obligation counter.
+      while (auto d = t.in_queue->try_pop()) {
+        if (!state::is_barrier(*d->tuple)) {
+          ++report_.elastic.stale_drops;
+          if (c_el_stale_drops_) c_el_stale_drops_->inc();
+        }
+      }
+      for (const auto& d : t.align_buf) {
+        if (!state::is_barrier(*d.tuple)) {
+          ++report_.elastic.stale_drops;
+          if (c_el_stale_drops_) c_el_stale_drops_->inc();
+        }
+      }
+      t.align_buf.clear();
+      t.aligning = false;
+      t.barriers_from.clear();
+      checkpoints_.erase_task(tid);
+      ++retired;
+    }
+  } else if (new_n > old_n) {
+    auto pool_of = [this](int node) -> sim::CorePool* {
+      return cfg_.model_core_contention
+                 ? core_pools_[static_cast<size_t>(node)].get()
+                 : nullptr;
+    };
+    const elastic::Placement placement(cfg_.cluster);
+    for (int i = old_n; i < new_n; ++i) {
+      // Placement sees already-spawned siblings (appended below), so a
+      // multi-instance grow spreads the same way repeated grows would.
+      std::vector<int> peers;
+      for (int tid : op_tasks_[static_cast<size_t>(opi)]) {
+        peers.push_back(tasks_[static_cast<size_t>(tid)]->node);
+      }
+      const int node = place_instance(opi);
+      if (!placement.rack_local(node, peers)) {
+        ++report_.elastic.cross_rack_placements;
+      }
+      auto t = std::make_unique<TaskRt>();
+      t->id = static_cast<int>(tasks_.size());
+      t->op = opi;
+      t->instance = i;
+      t->worker = node;  // one worker process per node
+      t->node = node;
+      t->cpu = std::make_unique<sim::CpuServer>(
+          node_sim(node), spec.name + "[" + std::to_string(i) + "]",
+          pool_of(node));
+      t->in_queue = std::make_unique<sim::BoundedQueue<Delivery>>(
+          cfg_.executor_queue_capacity);
+      t->strategies.reserve(spec.out_streams.size());
+      for (int sid : spec.out_streams) {
+        t->strategies.push_back(
+            dsps::make_strategy(topo_.streams[static_cast<size_t>(sid)]));
+      }
+      dsps::TaskContext ctx{t->id, opi, i, new_n, t->worker, t->node};
+      t->bolt = spec.bolt_factory();
+      t->bolt->prepare(ctx);
+      t->bolt->register_state(t->store);
+      for (size_t oi = 0; oi < spec.out_streams.size(); ++oi) {
+        dsps::PartitioningStrategy* strat = t->strategies[oi].get();
+        if (!strat->stateful()) continue;
+        t->store.register_cell(
+            std::string(dsps::kRoutingCellPrefix) + "s" +
+                std::to_string(spec.out_streams[oi]),
+            [strat](ByteWriter& w) { strat->save(w); },
+            [strat](ByteReader& r) { strat->restore(r); });
+      }
+      for (size_t oi = 0; oi < spec.out_streams.size(); ++oi) {
+        if (!t->strategies[oi]->load_aware()) continue;
+        const int to_op =
+            topo_.streams[static_cast<size_t>(spec.out_streams[oi])].to_op;
+        t->strategies[oi]->set_load_probe([this, to_op](size_t di) {
+          const int dst = op_tasks_[static_cast<size_t>(to_op)][di];
+          return static_cast<double>(
+              tasks_[static_cast<size_t>(dst)]->in_queue->size());
+        });
+      }
+      // Stray barrier copies of the rescale epoch (there are none in any
+      // tree at commit, but the guard is structural) are stale on arrival.
+      t->epoch = epoch;
+      TaskRt* raw = t.get();
+      t->in_queue->set_on_item([this, raw] { pump_task(*raw); });
+      if (metrics_on()) {
+        metrics_.gauge("task" + std::to_string(t->id) + ".in_queue", [raw] {
+          return static_cast<double>(raw->in_queue->size());
+        });
+      }
+      op_tasks_[static_cast<size_t>(opi)].push_back(t->id);
+      workers_[static_cast<size_t>(t->worker)]
+          ->op_local_tasks[static_cast<size_t>(opi)]
+          .push_back(t->id);
+      tasks_.push_back(std::move(t));
+      ++spawned;
+    }
+  }
+
+  // --- 3. prune the task indexes --------------------------------------------
+  auto prune = [this](std::vector<int>& ids) {
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [this](int tid) {
+                               return !tasks_[static_cast<size_t>(tid)]->active;
+                             }),
+              ids.end());
+  };
+  prune(op_tasks_[static_cast<size_t>(opi)]);
+  for (auto& wp : workers_) prune(wp->op_local_tasks[static_cast<size_t>(opi)]);
+
+  // --- 4. adopt the new parallelism ------------------------------------------
+  topo_.ops[static_cast<size_t>(opi)].parallelism = new_n;
+
+  // --- 5. install the re-split state ------------------------------------------
+  // Surviving and fresh instances alike restore their keyed slice, learn
+  // the new shape, and have BOTH recovery targets (epoch0 image and the
+  // coordinator's committed image) overwritten — a crash after this
+  // cutover rolls back to exactly the state the rescale installed.
+  for (size_t i = 0; i < op_tasks_[static_cast<size_t>(opi)].size(); ++i) {
+    const int tid = op_tasks_[static_cast<size_t>(opi)][i];
+    auto& t = *tasks_[static_cast<size_t>(tid)];
+    elastic::SnapshotCells cells;
+    cells.reserve(keyed_names.size());
+    for (const auto& name : keyed_names) {
+      cells.emplace_back(name, split[name][i]);
+    }
+    const auto blob = elastic::build_snapshot(cells);
+    t.store.restore(blob);
+    dsps::TaskContext ctx{t.id, opi, static_cast<int>(i), new_n, t.worker,
+                          t.node};
+    t.bolt->rescaled(ctx);
+    auto img = t.store.snapshot();
+    t.epoch0_image = img;
+    checkpoints_.set_committed_image(tid, std::move(img));
+  }
+
+  // --- 6. rewire upstream routing ---------------------------------------------
+  for (auto& tp : tasks_) {
+    if (!tp->active) continue;
+    const auto& tspec = topo_.ops[static_cast<size_t>(tp->op)];
+    for (size_t oi = 0; oi < tspec.out_streams.size(); ++oi) {
+      if (topo_.streams[static_cast<size_t>(tspec.out_streams[oi])].to_op !=
+          opi) {
+        continue;
+      }
+      tp->strategies[oi]->rebalanced(static_cast<size_t>(new_n));
+    }
+  }
+
+  // --- 7. stream bookkeeping ---------------------------------------------------
+  // Instance-indexed accounting must admit the new indexes; on shrink the
+  // old columns stay (whole-run counters never forget retired instances).
+  for (int sid : spec.in_streams) {
+    const size_t s = static_cast<size_t>(sid);
+    if (stream_instance_counts_[s].size() < static_cast<size_t>(new_n)) {
+      stream_instance_counts_[s].resize(static_cast<size_t>(new_n), 0);
+      stream_instance_snap_[s].resize(static_cast<size_t>(new_n), 0);
+    }
+    if (topo_.streams[s].grouping == dsps::Grouping::kAll) {
+      stream_dst_count_[s] = static_cast<uint32_t>(new_n);
+    }
+  }
+
+  // --- 8. alignment channel counts ----------------------------------------------
+  recompute_expected_barriers();
+
+  // --- 9. multicast structures ----------------------------------------------------
+  for (auto& gp : groups_) {
+    if (gp->dst_op == opi) rescale_mcast_group(*gp);
+  }
+
+  // --- 10. coordinator + controller + accounting ----------------------------------
+  int active_tasks = 0;
+  for (const auto& tp : tasks_) {
+    if (tp->active) ++active_tasks;
+  }
+  checkpoints_.set_num_tasks(active_tasks);
+  escalers_[static_cast<size_t>(opi)]->confirm(new_n, now);
+
+  auto& el = report_.elastic;
+  if (plan.delta > 0) {
+    ++el.scale_ups;
+    if (c_el_ups_) c_el_ups_->inc();
+  } else {
+    ++el.scale_downs;
+    if (c_el_downs_) c_el_downs_->inc();
+  }
+  el.instances_spawned += spawned;
+  el.instances_retired += retired;
+  el.keyed_entries_moved += split_stats.entries;
+  el.state_bytes_moved += split_stats.bytes;
+  if (c_el_moved_bytes_) c_el_moved_bytes_->inc(split_stats.bytes);
+  const Duration stall = now - rescale_start_;
+  el.migration_stall_total += stall;
+  el.migration_stall_max = std::max(el.migration_stall_max, stall);
+  el.episodes.push_back({opi, plan.from, new_n, now, stall, plan.backlog});
+  if (trace_on()) {
+    tracer_.complete("rescale", "elastic",
+                     primary_src_worker_ >= 0 ? primary_src_worker_ : 0,
+                     obs::kLaneControl, rescale_start_, stall,
+                     static_cast<uint64_t>(opi));
+  }
+
+  pending_plan_.reset();
+  rescale_epoch_ = 0;
+  quiesce_ops_.clear();
+
+  // LAST: release the quiesced executors. Every structural update above
+  // is visible before any of them processes another tuple, so the first
+  // post-cutover emission already routes against the new shape.
+  for (auto& tp : tasks_) {
+    if (!tp->active || !tp->quiesced) continue;
+    tp->quiesced = false;
+    pump_task(*tp);
+  }
+}
+
+void Engine::rescale_mcast_group(McastGroup& g) {
+  const size_t dst_op = static_cast<size_t>(g.dst_op);
+  g.total_dst_instances = op_tasks_[dst_op].size();
+  // Instance-level id spaces grow with tasks_; keep the reverse index
+  // covering every id the crash paths may probe.
+  if (!g.worker_level && g.endpoint_index.size() < tasks_.size()) {
+    g.endpoint_index.resize(tasks_.size(), -1);
+  }
+
+  // Desired endpoints (beyond the source), rack-contiguous order: racks
+  // first, so a rebuilt binomial/non-blocking tree keeps whole subtrees
+  // inside one rack wherever the endpoint count allows.
+  std::vector<int> want;
+  if (g.worker_level) {
+    for (const auto& w : workers_) {
+      if (w->id == g.src_worker) continue;
+      if (!w->op_local_tasks[dst_op].empty()) want.push_back(w->id);
+    }
+    std::sort(want.begin(), want.end(), [this](int a, int b) {
+      const int ra = cfg_.cluster.rack_of(workers_[static_cast<size_t>(a)]->node);
+      const int rb = cfg_.cluster.rack_of(workers_[static_cast<size_t>(b)]->node);
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+  } else {
+    want = op_tasks_[dst_op];
+    std::sort(want.begin(), want.end(), [this](int a, int b) {
+      const int na = tasks_[static_cast<size_t>(a)]->node;
+      const int nb = tasks_[static_cast<size_t>(b)]->node;
+      const int ra = cfg_.cluster.rack_of(na);
+      const int rb = cfg_.cluster.rack_of(nb);
+      if (ra != rb) return ra < rb;
+      if (na != nb) return na < nb;
+      return a < b;
+    });
+  }
+
+  bool grow = false;
+  for (int id : want) {
+    const int e = id < static_cast<int>(g.endpoint_index.size())
+                      ? g.endpoint_index[static_cast<size_t>(id)]
+                      : -1;
+    if (e < 0 || g.tree.removed(e)) {
+      grow = true;
+      break;
+    }
+  }
+
+  if (!grow) {
+    // Pure shrink: excise the endpoints that lost their destination
+    // instances through the same repair path a crash uses — orphaned
+    // subtrees re-attach at the shallowest open slots, so surviving
+    // endpoints keep their connections and no reconnect storm is paid.
+    std::unordered_set<int> wanted(want.begin(), want.end());
+    for (size_t e = 1; e < g.endpoints.size(); ++e) {
+      const int id = g.endpoints[e];
+      if (wanted.count(id) != 0 || g.tree.removed(static_cast<int>(e))) {
+        continue;
+      }
+      g.tree.repair(static_cast<int>(e), repair_dstar(g));
+      g.endpoint_index[static_cast<size_t>(id)] = -1;
+    }
+    return;
+  }
+
+  // Grow (or mixed): rebuild the endpoint set and the tree wholesale in
+  // rack-contiguous order. Safe at rescale commit — the quiesced source
+  // stopped emitting before its barrier and barrier_pending is 0, so the
+  // old tree holds no traffic for this group; anything stale still on
+  // the wire resolves endpoint_index to -1 and is dropped on arrival.
+  const int old_dstar = g.controller ? g.controller->dstar() : 0;
+  const int src = g.worker_level ? g.src_worker : g.src_task;
+  g.endpoints.clear();
+  g.endpoint_index.assign(g.worker_level ? workers_.size() : tasks_.size(),
+                          -1);
+  g.endpoints.push_back(src);
+  g.endpoint_index[static_cast<size_t>(src)] = 0;
+  for (int id : want) {
+    g.endpoint_index[static_cast<size_t>(id)] =
+        static_cast<int>(g.endpoints.size());
+    g.endpoints.push_back(id);
+  }
+  const int n = static_cast<int>(g.endpoints.size()) - 1;
+  switch (cfg_.variant.mcast) {
+    case McastMode::kSequential:
+      g.tree = multicast::MulticastTree::build_sequential(n);
+      break;
+    case McastMode::kBinomial:
+      g.tree = multicast::MulticastTree::build_binomial(n);
+      break;
+    case McastMode::kNonblocking: {
+      const int cap = std::max(1, multicast::MD1::binomial_out_degree(n));
+      const int d0 = old_dstar > 0 ? std::clamp(old_dstar, 1, cap)
+                     : cfg_.initial_dstar > 0
+                         ? std::min(cfg_.initial_dstar, cap)
+                         : cap;
+      g.tree = multicast::MulticastTree::build_nonblocking(n, d0);
+      if (g.controller) {
+        // d* decisions restart against the new destination count; the
+        // fingerprinted switch counters carry over via the group so
+        // finalize_report still reports whole-run totals.
+        g.carry_scale_ups += g.controller->scale_ups();
+        g.carry_scale_downs += g.controller->scale_downs();
+        g.controller = std::make_unique<multicast::SelfAdjustingController>(
+            cfg_.controller, cfg_.executor_queue_capacity, n, d0);
+        if (elastic_on() && cfg_.elastic.drive_mcast_dstar) {
+          elastic::ScalingController* sc = escalers_[dst_op].get();
+          if (sc) {
+            g.controller->set_backlog_probe(
+                [sc] { return sc->backlog_ewma(); });
+          }
+        }
+      }
+      break;
+    }
+  }
+  // The assignment above replaced the tree object — reinstall the
+  // structural-change observer obs_setup had attached.
+  if (trace_on()) {
+    McastGroup* graw = &g;
+    g.tree.set_repair_observer(
+        [this, graw](const char* op, int node, size_t moves) {
+          tracer_.instant(op, "mcast", graw->src_worker, obs::kLaneControl,
+                          cur_sim().now(), 0, "moves",
+                          static_cast<double>(moves));
+          (void)node;
+        });
+  }
+}
+
+}  // namespace whale::core

@@ -132,7 +132,7 @@ struct RunReport {
     int num_partitions = 0;   // one per node once engaged; 0 otherwise
     int threads = 0;          // executing threads (<= num_partitions)
     // "" when engaged; otherwise one of: "not_requested", "acking",
-    // "replay", "faults", "state", "obs", "optimized_rdma",
+    // "replay", "faults", "elastic", "state", "obs", "optimized_rdma",
     // "nonblocking_mcast", "load_aware_strategy", "single_partition".
     std::string fallback_reason;
   };
@@ -152,6 +152,38 @@ struct RunReport {
     double imbalance = 0.0;    // max/avg; 0 when no traffic
   };
   std::vector<StreamRouting> stream_routing;
+
+  // --- elastic rescaling (DESIGN.md §14) -----------------------------------
+  // Outcome of the gauge-driven rescale subsystem. Excluded from
+  // fingerprint() wholesale, like ParallelDecision/StreamRouting: the
+  // mcast-tree scale_ups/scale_downs above are already fingerprinted, and
+  // an elastic-off run must stay bit-identical to the committed baseline.
+  struct Elastic {
+    bool enabled = false;
+    uint64_t polls = 0;              // controller samples taken
+    uint64_t scale_ups = 0;          // operator grow episodes executed
+    uint64_t scale_downs = 0;        // operator shrink episodes executed
+    uint64_t rescales_canceled = 0;  // plans whose rescale epoch aborted
+    uint64_t instances_spawned = 0;
+    uint64_t instances_retired = 0;
+    uint64_t keyed_entries_moved = 0;  // keyed-state entries redistributed
+    uint64_t state_bytes_moved = 0;    // their payload bytes
+    uint64_t stale_drops = 0;  // deliveries fenced at retired instances
+    uint64_t cross_rack_placements = 0;  // spawns that opened a new rack
+    Duration migration_stall_total = 0;  // rescale-epoch inject -> cutover
+    Duration migration_stall_max = 0;
+    // One row per executed rescale, in execution order.
+    struct Episode {
+      int op = -1;
+      int from = 0;            // parallelism before
+      int to = 0;              // parallelism after
+      Time at = 0;             // cutover (commit) time
+      Duration stall = 0;      // rescale-epoch inject -> cutover
+      double backlog = 0.0;    // smoothed signal that triggered the plan
+    };
+    std::vector<Episode> episodes;
+  };
+  Elastic elastic;
 
   // --- meta ----------------------------------------------------------------
   uint64_t sim_events = 0;

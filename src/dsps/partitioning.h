@@ -81,6 +81,13 @@ class PartitioningStrategy {
   virtual bool load_aware() const { return false; }
   void set_load_probe(LoadProbe probe) { load_probe_ = std::move(probe); }
 
+  // The downstream operator was elastically rescaled to n instances
+  // (DESIGN.md §14). Strategies keying decisions on per-destination
+  // tallies resize/reset them here; pure-function strategies (fields,
+  // shuffle cursor modulo) keep the no-op default — select() already
+  // takes n per call.
+  virtual void rebalanced(size_t /*n*/) {}
+
  protected:
   // Load of destination i: the installed probe, else the local fallback
   // tally the caller maintains (keeps unit tests probe-free).
@@ -149,6 +156,10 @@ class PartialKeyStrategy final : public PartitioningStrategy {
   bool stateful() const override { return true; }
   void save(ByteWriter& w) const override;
   void restore(ByteReader& r) override;
+  // A rescale remaps every key's candidate pair (both are mod-n hashes),
+  // so stale per-destination tallies would bias the first post-rescale
+  // choices toward instances that merely existed longer. Start even.
+  void rebalanced(size_t n) override { routed_.assign(n, 0); }
 
   // Stable candidate pair for a key (exposed for tests): both in [0, n),
   // distinct whenever n > 1.
@@ -176,6 +187,10 @@ class PowerOfTwoChoicesStrategy final : public PartitioningStrategy {
   bool load_aware() const override { return true; }
   void save(ByteWriter& w) const override;
   void restore(ByteReader& r) override;
+  // Candidate draws are mod-n, so the fallback tallies stop describing the
+  // same destinations after a rescale; the draw cursor survives (it is the
+  // reproducible random sequence, not a per-destination stat).
+  void rebalanced(size_t n) override { routed_.assign(n, 0); }
 
   uint64_t draws() const { return seq_; }
 

@@ -92,6 +92,12 @@ class Bolt {
   // Stateless operators keep the default no-op; they still participate in
   // epochs with empty snapshots.
   virtual void register_state(whale::state::StateStore&) {}
+  // Called on surviving instances after an elastic rescale of this
+  // operator (DESIGN.md §14): ctx carries the new parallelism (and, for
+  // freshly spawned instances, the new instance index). Keyed operators
+  // recompute their ownership predicate from it; the migrated "__keyed.*"
+  // cells have already been restored when this runs.
+  virtual void rescaled(const TaskContext&) {}
 };
 
 class Spout {

@@ -12,7 +12,7 @@ int SelfAdjustingController::model_dstar(double lambda_tps,
 
 SelfAdjustingController::Decision SelfAdjustingController::on_sample(
     size_t queue_len, double lambda_tps, Duration te) {
-  const double l = static_cast<double>(queue_len);
+  const double l = static_cast<double>(effective_queue_len(queue_len));
   Decision decision;
   if (switching_) return decision;  // a switch is already in flight
   if (!have_prev_) {

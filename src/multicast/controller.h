@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/stats.h"
 #include "common/time.h"
@@ -116,6 +118,24 @@ class SelfAdjustingController {
   // decided switch has completed (so in-flight switches aren't re-decided).
   Decision on_sample(size_t queue_len, double lambda_tps, Duration te);
 
+  // Optional downstream-backlog probe (DESIGN.md §14): the elastic
+  // ScalingController's smoothed executor-backlog fraction for the group's
+  // destination operator, in [0, 1]. When installed, each sample sees the
+  // *effective* queue length max(raw, probe * Q) — downstream pressure the
+  // transfer queue hasn't absorbed yet still counts toward the warning
+  // waterline, so d* scale-downs engage before the relay tree amplifies a
+  // backlog the rescaler is already fighting. Never installed when the
+  // elastic layer is off, keeping the fingerprint contract intact.
+  using BacklogProbe = std::function<double()>;
+  void set_backlog_probe(BacklogProbe probe) { probe_ = std::move(probe); }
+
+  size_t effective_queue_len(size_t raw) const {
+    if (!probe_) return raw;
+    double frac = std::clamp(probe_(), 0.0, 1.0);
+    auto floor_len = static_cast<size_t>(frac * static_cast<double>(capacity_));
+    return std::max(raw, floor_len);
+  }
+
   void confirm(int applied_dstar) {
     dstar_ = applied_dstar;
     switching_ = false;
@@ -137,6 +157,7 @@ class SelfAdjustingController {
   bool have_prev_ = false;
   double prev_len_ = 0.0;
   bool switching_ = false;
+  BacklogProbe probe_;
   uint64_t scale_downs_ = 0;
   uint64_t scale_ups_ = 0;
 };

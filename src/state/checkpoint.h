@@ -120,6 +120,33 @@ class CheckpointCoordinator {
   void log_emission(int spout_task, uint64_t epoch, const dsps::Tuple& t);
   std::vector<dsps::Tuple> uncommitted_emissions(int spout_task) const;
 
+  // --- elastic rescaling (DESIGN.md §14) ----------------------------------
+  // Non-destructive participant-count update: future epochs expect writes
+  // from `num_tasks` participants, but staged/committed images and the
+  // sink exactly-once ledger survive (unlike reset()). Called at rescale
+  // commit, when no epoch is in flight.
+  void set_num_tasks(int num_tasks) { num_tasks_ = num_tasks; }
+  int num_tasks() const { return num_tasks_; }
+  // Overwrites `task`'s committed image with a migration-produced blob, so
+  // a crash after the rescale commit rolls freshly (re)split state back to
+  // exactly what the rescale installed.
+  void set_committed_image(int task, std::vector<uint8_t> blob) {
+    committed_[task] = std::move(blob);
+  }
+  // Drops a retired task's images and channel state; its slice now lives
+  // in the surviving instances' overwritten images.
+  void erase_task(int task) {
+    staged_.erase(task);
+    writes_done_.erase(task);
+    committed_.erase(task);
+    staged_external_.erase(task);
+    staged_channel_.erase(task);
+    staged_channel_bytes_.erase(task);
+    committed_channel_.erase(task);
+    sink_pending_.erase(task);
+    logs_.erase(task);
+  }
+
   // --- recovery -----------------------------------------------------------
   const std::vector<uint8_t>& committed_image(int task) const;
   uint64_t committed_bytes_total() const;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "elastic/keyed.h"
 #include "state/state_store.h"
 
 namespace whale::workloads {
@@ -87,31 +88,41 @@ Duration MatchingBolt::execute(const dsps::Tuple& t, dsps::Emitter& out) {
 }
 
 void MatchingBolt::register_state(whale::state::StateStore& store) {
-  // Keys are sorted so the snapshot bytes are a pure function of the map
-  // contents, independent of hash-table insertion history.
+  // Keyed cell (elastic/keyed.h wire format): entry key is the driver
+  // id's fields-grouping hash — the same hash the driver stream routes by
+  // and prepare()'s ownership predicate tests — so an elastic re-split by
+  // key % n lands every driver exactly where the routing will send its
+  // updates. Ids are pre-sorted so the serialized bytes are a pure
+  // function of the map contents, independent of insertion history.
   store.register_cell(
-      "drivers",
+      std::string(elastic::kKeyedCellPrefix) + "drivers",
       [this](ByteWriter& w) {
         std::vector<int64_t> ids;
         ids.reserve(drivers_.size());
         for (const auto& [id, pos] : drivers_) ids.push_back(id);
         std::sort(ids.begin(), ids.end());
-        w.put_varint(ids.size());
+        std::vector<elastic::KeyedEntry> entries;
+        entries.reserve(ids.size());
         for (int64_t id : ids) {
           const Pos& pos = drivers_.at(id);
-          w.put_i64(id);
-          w.put_f64(pos.x);
-          w.put_f64(pos.y);
+          ByteWriter pw(24);
+          pw.put_i64(id);
+          pw.put_f64(pos.x);
+          pw.put_f64(pos.y);
+          entries.push_back(elastic::KeyedEntry{
+              dsps::value_hash(dsps::Value{id}), pw.take()});
         }
+        elastic::write_keyed_body(w, std::move(entries));
       },
       [this](ByteReader& r) {
         drivers_.clear();
-        const uint64_t n = r.get_varint();
-        drivers_.reserve(n);
-        for (uint64_t i = 0; i < n; ++i) {
-          const int64_t id = r.get_i64();
-          const double x = r.get_f64();
-          const double y = r.get_f64();
+        auto entries = elastic::read_keyed_body(r);
+        drivers_.reserve(entries.size());
+        for (const auto& e : entries) {
+          ByteReader pr(e.payload);
+          const int64_t id = pr.get_i64();
+          const double x = pr.get_f64();
+          const double y = pr.get_f64();
           drivers_[id] = Pos{x, y};
         }
       });

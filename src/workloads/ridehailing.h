@@ -69,8 +69,16 @@ class MatchingBolt : public dsps::Bolt {
   // cost reflects the steady state instead of an empty table.
   void prepare(const dsps::TaskContext& ctx) override;
   Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override;
-  // Checkpoints the key-grouped driver slice (id -> position).
+  // Checkpoints the driver slice as a "__keyed." cell (key = the driver
+  // id's fields-grouping hash), which is what makes this operator
+  // elastically rescalable: the migration machinery merges the cells of
+  // every old instance and re-splits them by key % new_parallelism —
+  // exactly the ownership predicate prepare() and the driver stream's
+  // fields grouping use.
   void register_state(whale::state::StateStore& store) override;
+  // Elastic rescale cutover: the migrated keyed cell is already restored;
+  // only the ownership shape (parallelism / instance index) changes.
+  void rescaled(const dsps::TaskContext& ctx) override { ctx_ = ctx; }
 
   size_t stored_drivers() const { return drivers_.size(); }
 
@@ -97,5 +105,22 @@ class RideAggregationBolt : public dsps::Bolt {
   RideHailingParams p_;
   std::unordered_map<int64_t, std::pair<int64_t, double>> best_;
 };
+
+// Square-wave request-rate profile for the elastic benchmarks: starts at
+// `lull_tps`, alternates to `burst_tps` and back every `half_period`, for
+// `cycles` full cycles. Each burst drives the matching backlog over the
+// scale-up threshold; each lull drains it under the scale-down one, so a
+// single run exercises both rescale directions repeatedly.
+inline dsps::RateProfile bursty_request_profile(double lull_tps,
+                                                double burst_tps,
+                                                Duration half_period,
+                                                int cycles) {
+  auto p = dsps::RateProfile::constant(lull_tps);
+  for (int c = 0; c < cycles; ++c) {
+    p.then_at(half_period * (2 * c + 1), burst_tps);
+    p.then_at(half_period * (2 * c + 2), lull_tps);
+  }
+  return p;
+}
 
 }  // namespace whale::workloads

@@ -401,6 +401,13 @@ TEST(ParallelEligibility, EachKnobNamesItselfInFallbackReason) {
              {/*node=*/1, /*at=*/whale::ms(10),
               /*restart_after=*/whale::ms(5)});
        }},
+      // Elastic rescaling mutates the task set mid-run; it is checked
+      // before state (which it requires, so both knobs are on here).
+      {"elastic",
+       [](EngineConfig& c) {
+         c.state.enabled = true;
+         c.elastic.enabled = true;
+       }},
       {"state", [](EngineConfig& c) { c.state.enabled = true; }},
       {"obs", [](EngineConfig& c) { c.obs.metrics_enabled = true; }},
       {"obs", [](EngineConfig& c) { c.obs.tracing_enabled = true; }},

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "elastic/keyed.h"
 #include "faults/plan.h"
 #include "net/fabric.h"
 #include "sim/cpu.h"
@@ -729,6 +730,128 @@ TEST(RemoteState, IncrementalDeltasCutSnapshotBytes) {
   EXPECT_GT(incr.snapshot_full_bytes, incr.checkpoint_bytes);
   // Regions were registered and grew with the sink's expanding state.
   EXPECT_EQ(incr.mr_regions, 4u);
+}
+
+// --- (g) crash mid-migration (elastic rescale epoch) -----------------------
+
+// Rescalable middle operator: per-key application tallies in a keyed cell
+// (key = the fields-grouping hash of the id), forwarding every tuple.
+class KeyedTallyBolt : public dsps::Bolt {
+ public:
+  Duration execute(const dsps::Tuple& t, dsps::Emitter& out) override {
+    ++tally_[dsps::value_hash(t.values[0])];
+    out.emit(t);
+    return us(300);
+  }
+  void register_state(whale::state::StateStore& store) override {
+    store.register_cell(
+        std::string(elastic::kKeyedCellPrefix) + "tally",
+        [this](ByteWriter& w) {
+          std::vector<elastic::KeyedEntry> entries;
+          entries.reserve(tally_.size());
+          for (const auto& [k, v] : tally_) {
+            ByteWriter pw(8);
+            pw.put_u64(v);
+            entries.push_back(elastic::KeyedEntry{k, pw.take()});
+          }
+          elastic::write_keyed_body(w, std::move(entries));
+        },
+        [this](ByteReader& r) {
+          tally_.clear();
+          for (const auto& e : elastic::read_keyed_body(r)) {
+            ByteReader pr(e.payload);
+            tally_[e.key] = pr.get_u64();
+          }
+        });
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> tally_;
+};
+
+TEST(Checkpoints, CrashMidMigrationCancelsRescaleExactlyOnce) {
+  // A burst forces a grow plan; its rescale epoch is in flight — the
+  // operator snapshots are taken, the routing is NOT yet flipped — when a
+  // node hosting one of the operator's instances dies. The abort must
+  // cancel the rescale (parallelism stays at 2, the snapshots are
+  // discarded with the epoch) and recovery must restore the pre-rescale
+  // images: every sequence number lands in the sink exactly once, no
+  // duplicate applications from the discarded migration snapshots.
+  EngineConfig c = base_cfg(4);
+  c.seed = 23;
+  c.executor_queue_capacity = 1024;
+  c.transfer_queue_capacity = 65536;
+  c.state.enabled = true;
+  c.state.checkpoint_interval = ms(50);
+  c.elastic.enabled = true;
+  c.elastic.poll_interval = ms(5);
+  c.elastic.up_backlog = 0.02;
+  c.elastic.down_backlog = 0.002;
+  c.elastic.sustain_up = 2;
+  c.elastic.sustain_down = 4;
+  c.elastic.ewma_alpha = 0.5;
+  c.elastic.min_parallelism = 2;
+  c.elastic.max_parallelism = 4;
+  // One shot: after the canceled attempt the cooldown outlasts the run,
+  // so the post-recovery topology provably kept the old parallelism.
+  c.elastic.cooldown = sec(10);
+
+  SeqSpout* spout = nullptr;
+  CountingSink* sink = nullptr;
+  dsps::TopologyBuilder b;
+  // Burst at 150 ms drives the grow decision (~190 ms); emission stops at
+  // 195 ms so nothing regenerates during the outage. The rescale epoch is
+  // injected at the 200 ms tick and its migration is still aligning when
+  // the crash lands at 205 ms.
+  const int s = b.add_spout(
+      "s",
+      [&spout] {
+        auto sp = std::make_unique<SeqSpout>();
+        spout = sp.get();
+        return sp;
+      },
+      1,
+      dsps::RateProfile::constant(300.0)
+          .then_at(ms(150), 8000.0)
+          .then_at(ms(195), 0.0));
+  const int m = b.add_bolt(
+      "tally", [] { return std::make_unique<KeyedTallyBolt>(); }, 2);
+  const int k = b.add_bolt(
+      "sink",
+      [&sink] {
+        auto sk = std::make_unique<CountingSink>();
+        sink = sk.get();
+        return sk;
+      },
+      1);
+  b.connect(s, m, dsps::Grouping::kFields, /*key_field=*/0);
+  b.connect(m, k, dsps::Grouping::kShuffle);
+  c.faults.crash(/*node=*/1, /*at=*/ms(205), /*restart_after=*/ms(150));
+
+  Engine e(c, b.build());
+  const auto& r = e.run(ms(50), ms(650));
+  ASSERT_NE(spout, nullptr);
+  ASSERT_NE(sink, nullptr);
+
+  // The migration was genuinely interrupted mid-flight, not completed.
+  EXPECT_GE(r.elastic.rescales_canceled, 1u);
+  EXPECT_EQ(r.elastic.scale_ups, 0u);
+  EXPECT_EQ(r.elastic.scale_downs, 0u);
+  EXPECT_EQ(r.elastic.instances_spawned, 0u);
+  EXPECT_EQ(e.op_parallelism(m), 2);  // routing never flipped
+  EXPECT_EQ(e.num_tasks(), 4u);       // no instance was ever added
+  EXPECT_EQ(r.node_crashes, 1u);
+  EXPECT_EQ(r.checkpoint_recoveries, 1u);
+  EXPECT_EQ(r.input_drops, 0u);
+  EXPECT_EQ(r.queue_rejects, 0u);
+
+  // Zero duplicate sink applications: the discarded migration snapshots
+  // never leaked into the restored images.
+  const auto& counts = sink->counts();
+  EXPECT_EQ(counts.size(), static_cast<size_t>(spout->emitted()));
+  for (const auto& [seq, n] : counts) {
+    EXPECT_EQ(n, 1u) << "sequence " << seq << " applied " << n << " times";
+  }
 }
 
 TEST(RemoteState, UnalignedBarriersRemoveAlignmentStall) {

@@ -21,6 +21,16 @@ by bench_checkpoint_recovery to results/BENCH_checkpoint.json) becomes
     csv/<stem>_interval_sweep.csv  one row per checkpoint interval
     csv/<stem>_summary.csv         overhead + remote_state + vs_acker rows
 
+Parallel-kernel bench JSON (`"bench": "parallel"`, written by
+bench_simkernel to results/BENCH_parallel.json and
+results/BENCH_cluster.json) becomes
+    csv/<stem>_sweep.csv           one row per (config, threads) point
+
+Elastic rescaling bench JSON (`"bench": "elastic"`, written by
+bench_elastic to results/BENCH_elastic.json) becomes
+    csv/<stem>_episodes.csv        one row per executed rescale
+    csv/<stem>_summary.csv         conservation + totals as metric,value
+
 Usage: tools/results_to_csv.py [results_dir]
 """
 import csv
@@ -116,6 +126,52 @@ def checkpoint_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
     return written
 
 
+def parallel_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
+    """Writes the sweep CSV for one parallel-kernel bench doc
+    (results/BENCH_parallel.json, results/BENCH_cluster.json)."""
+    sweep = doc.get("sweep", [])
+    if not sweep:
+        return 0
+    cols = sorted({k for row in sweep for k in row})
+    lead = [c for c in ("config", "threads") if c in cols]
+    cols = lead + [c for c in cols if c not in lead]
+    with (out / f"{stem}_sweep.csv").open("w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(cols)
+        for row in sweep:
+            w.writerow([row.get(c, "") for c in cols])
+    return 1
+
+
+def elastic_csvs(doc: dict, out: pathlib.Path, stem: str) -> int:
+    """Writes episode + summary CSVs for one elastic bench doc
+    (results/BENCH_elastic.json)."""
+    written = 0
+    episodes = doc.get("episodes", [])
+    if episodes:
+        cols = sorted({k for row in episodes for k in row})
+        lead = [c for c in ("at_ms", "direction", "op") if c in cols]
+        cols = lead + [c for c in cols if c not in lead]
+        with (out / f"{stem}_episodes.csv").open("w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(cols)
+            for row in episodes:
+                w.writerow([row.get(c, "") for c in cols])
+        written += 1
+    flat = {}
+    for section in ("conservation", "summary"):
+        for key, value in doc.get(section, {}).items():
+            flat[f"{section}/{key}"] = value
+    if flat:
+        with (out / f"{stem}_summary.csv").open("w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["metric", "value"])
+            for name in sorted(flat):
+                w.writerow([name, flat[name]])
+        written += 1
+    return written
+
+
 def main() -> int:
     results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     out = results / "csv"
@@ -140,6 +196,12 @@ def main() -> int:
             continue
         if doc.get("bench") == "checkpoint_recovery":
             written += checkpoint_csvs(doc, out, jf.stem)
+            continue
+        if doc.get("bench") == "parallel":
+            written += parallel_csvs(doc, out, jf.stem)
+            continue
+        if doc.get("bench") == "elastic":
+            written += elastic_csvs(doc, out, jf.stem)
             continue
         if "times_ns" not in doc or "series" not in doc:
             continue  # not a metrics snapshot file (e.g. a Chrome trace)

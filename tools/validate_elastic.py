@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifact written by bench_elastic.
+
+Gates the elastic-rescaling acceptance criteria (stdlib only, exit
+non-zero on the first failure):
+  - top-level schema: bench tag, config, episodes, conservation, summary
+  - episodes: at least 4 executed rescales with at least one in each
+    direction; every episode moves parallelism by exactly the recorded
+    edge within the configured [min, max] bounds, carries a positive
+    migration stall, and cutover times are strictly ascending
+  - conservation: recovery-free exactly-once across every migration —
+    emitted == applied_once, zero duplicates, zero losses, zero stale
+    deliveries at retired instances, zero checkpoint recoveries, and
+    lossless queues (any reject would void the ledger)
+  - summary: episode counts match the per-direction totals, the spawn /
+    retire census matches the episode edges, migration stall totals are
+    consistent with the episode stalls, keyed state actually moved, and
+    the controller genuinely polled
+
+Usage: tools/validate_elastic.py [path]   (default:
+       results/BENCH_elastic.json)
+"""
+import json
+import pathlib
+import sys
+
+CONSERVATION_FIELDS = (
+    "emitted", "applied_once", "duplicates", "lost", "stale_drops",
+    "recoveries", "input_drops", "queue_rejects",
+)
+SUMMARY_FIELDS = (
+    "scale_ups", "scale_downs", "rescales_canceled", "instances_spawned",
+    "instances_retired", "cross_rack_placements", "keyed_entries_moved",
+    "state_bytes_moved", "migration_stall_total_ms", "migration_stall_max_ms",
+    "polls", "final_parallelism", "epochs_completed", "epochs_aborted",
+    "events", "wall_ms",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def require_numbers(row: dict, fields, where: str) -> None:
+    for f in fields:
+        if f not in row:
+            fail(f"{where} missing field '{f}'")
+        if not isinstance(row[f], (int, float)) or isinstance(row[f], bool):
+            fail(f"{where} field '{f}' is not numeric: {row[f]!r}")
+
+
+def validate_episodes(episodes, config) -> tuple:
+    if not isinstance(episodes, list):
+        fail("episodes must be a list")
+    if len(episodes) < 4:
+        fail(f"expected >= 4 rescale episodes, got {len(episodes)}")
+    lo = config.get("min_parallelism", 1)
+    hi = config.get("max_parallelism", 1 << 30)
+    ups = downs = 0
+    last_at = -1.0
+    for i, ep in enumerate(episodes):
+        where = f"episodes[{i}]"
+        require_numbers(ep, ("op", "from", "to", "at_ms", "stall_ms",
+                             "backlog"), where)
+        if ep.get("direction") not in ("up", "down"):
+            fail(f"{where}: direction must be 'up' or 'down'")
+        if ep["to"] == ep["from"]:
+            fail(f"{where}: no-op rescale {ep['from']} -> {ep['to']}")
+        if (ep["to"] > ep["from"]) != (ep["direction"] == "up"):
+            fail(f"{where}: direction '{ep['direction']}' contradicts edge "
+                 f"{ep['from']} -> {ep['to']}")
+        if not (lo <= ep["to"] <= hi):
+            fail(f"{where}: target parallelism {ep['to']} outside "
+                 f"[{lo}, {hi}]")
+        if ep["stall_ms"] <= 0:
+            fail(f"{where}: migration stall must be positive, "
+                 f"got {ep['stall_ms']}")
+        if ep["at_ms"] <= last_at:
+            fail(f"{where}: cutover times must be strictly ascending")
+        last_at = ep["at_ms"]
+        ups += ep["direction"] == "up"
+        downs += ep["direction"] == "down"
+    if ups < 1 or downs < 1:
+        fail(f"need at least one rescale per direction, got {ups} up / "
+             f"{downs} down")
+    print(f"  episodes      ok: {len(episodes)} rescales "
+          f"({ups} up, {downs} down), stalls "
+          f"{[round(e['stall_ms'], 1) for e in episodes]} ms")
+    return ups, downs
+
+
+def validate_conservation(cons) -> None:
+    require_numbers(cons, CONSERVATION_FIELDS, "conservation")
+    if cons["emitted"] <= 0:
+        fail("nothing was emitted — the scenario is inert")
+    if cons["recoveries"] != 0:
+        fail(f"rescales must be recovery-free, got {cons['recoveries']} "
+             "checkpoint recoveries")
+    if cons["duplicates"] != 0:
+        fail(f"exactly-once violated: {cons['duplicates']} duplicate sink "
+             "applications")
+    if cons["lost"] != 0:
+        fail(f"{cons['lost']} emitted tuples never reached the sink")
+    if cons["stale_drops"] != 0:
+        fail(f"{cons['stale_drops']} deliveries hit retired instances")
+    if cons["input_drops"] != 0 or cons["queue_rejects"] != 0:
+        fail("queues overflowed (input_drops="
+             f"{cons['input_drops']}, queue_rejects={cons['queue_rejects']})"
+             " — the conservation ledger is void")
+    if cons["applied_once"] != cons["emitted"]:
+        fail(f"emitted {cons['emitted']} != applied exactly once "
+             f"{cons['applied_once']}")
+    print(f"  conservation  ok: {cons['emitted']} emitted == applied once, "
+          "0 duplicates / 0 lost / 0 recoveries")
+
+
+def validate_summary(summary, episodes, ups, downs) -> None:
+    require_numbers(summary, SUMMARY_FIELDS, "summary")
+    if summary["scale_ups"] != ups or summary["scale_downs"] != downs:
+        fail(f"summary counts ({summary['scale_ups']} up, "
+             f"{summary['scale_downs']} down) disagree with the episode "
+             f"list ({ups} up, {downs} down)")
+    spawned = sum(e["to"] - e["from"] for e in episodes if e["to"] > e["from"])
+    retired = sum(e["from"] - e["to"] for e in episodes if e["to"] < e["from"])
+    if summary["instances_spawned"] != spawned:
+        fail(f"instances_spawned {summary['instances_spawned']} != "
+             f"episode-edge total {spawned}")
+    if summary["instances_retired"] != retired:
+        fail(f"instances_retired {summary['instances_retired']} != "
+             f"episode-edge total {retired}")
+    if summary["keyed_entries_moved"] <= 0 or summary["state_bytes_moved"] <= 0:
+        fail("no keyed state moved — the migrations were empty")
+    if summary["polls"] <= 0:
+        fail("the scaling controller never polled")
+    stall_sum = sum(e["stall_ms"] for e in episodes)
+    if abs(summary["migration_stall_total_ms"] - stall_sum) > 0.1:
+        fail(f"migration_stall_total_ms {summary['migration_stall_total_ms']}"
+             f" != episode stall sum {stall_sum:.3f}")
+    if summary["migration_stall_max_ms"] > summary["migration_stall_total_ms"]:
+        fail("migration_stall_max_ms exceeds the total")
+    final = episodes[-1]["to"]
+    if summary["final_parallelism"] != final:
+        fail(f"final_parallelism {summary['final_parallelism']} != last "
+             f"episode target {final}")
+    print(f"  summary       ok: {spawned} spawned / {retired} retired, "
+          f"{summary['keyed_entries_moved']} keyed entries "
+          f"({summary['state_bytes_moved']} B) moved, stall total "
+          f"{summary['migration_stall_total_ms']:.1f} ms")
+
+
+def main() -> int:
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else "results/BENCH_elastic.json")
+    if not path.exists():
+        fail(f"missing {path} (run build/bench/bench_elastic)")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "elastic":
+        fail(f"unexpected bench tag: {doc.get('bench')!r}")
+    for key in ("config", "episodes", "conservation", "summary"):
+        if key not in doc:
+            fail(f"missing top-level '{key}'")
+    ups, downs = validate_episodes(doc["episodes"], doc["config"])
+    validate_conservation(doc["conservation"])
+    validate_summary(doc["summary"], doc["episodes"], ups, downs)
+    print("elastic bench artifact valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
